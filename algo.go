@@ -1,0 +1,41 @@
+package trilliong
+
+import "repro/internal/graphalgo"
+
+// BFSResult reports one breadth-first search over a CSR graph.
+type BFSResult = graphalgo.BFSResult
+
+// BFS runs a level-synchronous breadth-first search (the Graph500
+// kernel) from root over g's out-edges.
+func BFS(g *CSRGraph, root int64) (*BFSResult, error) { return graphalgo.BFS(g, root) }
+
+// MaxDegreeVertex returns the vertex with the largest out-degree — the
+// canonical BFS root on scale-free graphs.
+func MaxDegreeVertex(g *CSRGraph) int64 { return graphalgo.MaxDegreeVertex(g) }
+
+// ConnectedComponents labels weakly connected components and returns
+// the per-vertex labels and the component count.
+func ConnectedComponents(g *CSRGraph) ([]int64, int64) {
+	return graphalgo.ConnectedComponents(g)
+}
+
+// LargestComponentFraction returns the share of vertices in the giant
+// component.
+func LargestComponentFraction(g *CSRGraph) float64 {
+	return graphalgo.LargestComponentFraction(g)
+}
+
+// PageRank runs damped power iteration until the L1 delta falls below
+// eps (or maxIter), returning the rank vector and iteration count.
+func PageRank(g *CSRGraph, damping, eps float64, maxIter int) ([]float64, int) {
+	return graphalgo.PageRank(g, damping, eps, maxIter)
+}
+
+// Reverse returns the transposed CSR image (edge (u,v) becomes (v,u)).
+func Reverse(g *CSRGraph) *CSRGraph { return graphalgo.Reverse(g) }
+
+// BFSUndirected runs BFS treating edges as undirected, as Graph500
+// specifies; pass rev = Reverse(g), reusable across roots.
+func BFSUndirected(g, rev *CSRGraph, root int64) (*BFSResult, error) {
+	return graphalgo.BFSUndirected(g, rev, root)
+}

@@ -1,0 +1,185 @@
+// Command experiments reproduces the paper's evaluation: every table
+// and figure of Section 7 and Appendix D has a subcommand that prints
+// the corresponding rows/series.
+//
+// Usage:
+//
+//	experiments table1|table2|table3
+//	experiments fig8|fig9|fig10|fig11a|fig11b|fig12|fig13|fig14
+//	experiments all
+//	experiments fig12 -scales 16,17,18,19,20
+//
+// Default scales are laptop-sized; the claims under test are shapes
+// (who wins, growth factors, crossovers), which are scale-invariant —
+// see EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scalesFlag := fs.String("scales", "", "comma-separated scales (experiment-specific defaults)")
+	scaleFlag := fs.Int("scale", 0, "single scale (experiments that take one)")
+	efFlag := fs.Int64("edgefactor", 0, "edge factor where applicable")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+	scales, err := parseScales(*scalesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string) {
+		if err := runOne(name, scales, *scaleFlag, *efFlag); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+	if cmd == "all" {
+		for _, name := range []string{
+			"table1", "table2", "table3",
+			"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14",
+			"balance",
+		} {
+			run(name)
+		}
+		return
+	}
+	run(cmd)
+}
+
+func runOne(name string, scales []int, scale int, ef int64) error {
+	switch name {
+	case "table1":
+		r, err := experiments.Table1(scales)
+		if err != nil {
+			return err
+		}
+		r.Report().Print(os.Stdout)
+	case "table2":
+		r, err := experiments.Table2(scales, 0)
+		if err != nil {
+			return err
+		}
+		r.Report().Print(os.Stdout)
+	case "table3":
+		r, err := experiments.Table3(scale)
+		if err != nil {
+			return err
+		}
+		r.Report().Print(os.Stdout)
+	case "fig8":
+		r, err := experiments.Fig8(scale, ef)
+		if err != nil {
+			return err
+		}
+		r.Report().Print(os.Stdout)
+	case "fig9":
+		r, err := experiments.Fig9(scale, nil)
+		if err != nil {
+			return err
+		}
+		r.Report().Print(os.Stdout)
+	case "fig10":
+		r, err := experiments.Fig10(0, 0)
+		if err != nil {
+			return err
+		}
+		r.Report().Print(os.Stdout)
+	case "fig11a":
+		dir, cleanup, err := spillDir()
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		r, err := experiments.Fig11a(scales, 0, dir)
+		if err != nil {
+			return err
+		}
+		r.Report().Print(os.Stdout)
+	case "fig11b":
+		dir, cleanup, err := spillDir()
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		r, err := experiments.Fig11b(scales, cluster.Config{}, 0, dir)
+		if err != nil {
+			return err
+		}
+		r.Report().Print(os.Stdout)
+	case "fig12":
+		r, err := experiments.Fig12(scales, 0)
+		if err != nil {
+			return err
+		}
+		r.Report().Print(os.Stdout)
+	case "fig13":
+		r, err := experiments.Fig13(scale)
+		if err != nil {
+			return err
+		}
+		r.Report().Print(os.Stdout)
+	case "fig14":
+		r, err := experiments.Fig14(scales, 0)
+		if err != nil {
+			return err
+		}
+		r.Report().Print(os.Stdout)
+	case "balance":
+		r, err := experiments.Balance(scale, 0)
+		if err != nil {
+			return err
+		}
+		r.Report().Print(os.Stdout)
+	default:
+		usage()
+	}
+	return nil
+}
+
+func spillDir() (string, func(), error) {
+	dir, err := os.MkdirTemp("", "trilliong-exp-*")
+	if err != nil {
+		return "", nil, err
+	}
+	return dir, func() { os.RemoveAll(dir) }, nil
+}
+
+func parseScales(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad scale %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: experiments <table1|table2|table3|fig8|fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|balance|all> [-scales 14,16,18] [-scale 16] [-edgefactor 16]`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseScales(t *testing.T) {
+	got, err := parseScales("12, 14,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{12, 14, 16}) {
+		t.Fatalf("got %v", got)
+	}
+	if got, err := parseScales(""); err != nil || got != nil {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	if _, err := parseScales("12,x"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestRunOneFastSubcommands drives the CLI dispatch for the cheap
+// experiments end to end (output goes to stdout).
+func TestRunOneFastSubcommands(t *testing.T) {
+	if err := runOne("table3", nil, 11, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOne("balance", nil, 12, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOne("fig10", nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOne("fig9", []int{12}, 12, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Command gconvert converts graph files between the three supported
+// formats (TSV, ADJ6, CSR6).
+//
+// Usage:
+//
+//	gconvert -in tsv -out adj6 graph.tsv graph.adj6
+//	gconvert -in adj6 -out csr6 -vertices 1048576 part.adj6 part.csr6
+//
+// CSR6 output requires -vertices and input scopes in increasing source
+// order (which TrillionG part files provide). TSV→CSR6 additionally
+// requires the edge list to be grouped by source.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/gformat"
+)
+
+func main() {
+	var (
+		inFmt    = flag.String("in", "tsv", "input format")
+		outFmt   = flag.String("out", "adj6", "output format")
+		vertices = flag.Int64("vertices", 0, "vertex count (required for csr6 output)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fatal(fmt.Errorf("usage: gconvert [-flags] <input> <output>"))
+	}
+	fi, err := gformat.ParseFormat(*inFmt)
+	if err != nil {
+		fatal(err)
+	}
+	fo, err := gformat.ParseFormat(*outFmt)
+	if err != nil {
+		fatal(err)
+	}
+	if fo == gformat.CSR6 && *vertices <= 0 {
+		fatal(fmt.Errorf("csr6 output requires -vertices"))
+	}
+
+	in, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer in.Close()
+	out, err := os.Create(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	var w gformat.Writer
+	switch fo {
+	case gformat.TSV:
+		w = gformat.NewTSVWriter(out)
+	case gformat.ADJ6:
+		w = gformat.NewADJ6Writer(out)
+	case gformat.CSR6:
+		cw, err := gformat.NewCSR6Writer(out, *vertices)
+		if err != nil {
+			fatal(err)
+		}
+		w = cw
+	}
+
+	if err := copyGraph(in, fi, w); err != nil {
+		fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("converted %d edges, %d bytes written\n", w.EdgesWritten(), w.BytesWritten())
+}
+
+func copyGraph(in *os.File, fi gformat.Format, w gformat.Writer) error {
+	switch fi {
+	case gformat.TSV:
+		r := gformat.NewTSVReader(in)
+		// Group consecutive edges of one source into a scope.
+		var cur int64 = -1
+		var dsts []int64
+		flush := func() error {
+			if cur < 0 || len(dsts) == 0 {
+				return nil
+			}
+			return w.WriteScope(cur, dsts)
+		}
+		for {
+			e, err := r.Next()
+			if err == io.EOF {
+				return flush()
+			}
+			if err != nil {
+				return err
+			}
+			if e.Src != cur {
+				if err := flush(); err != nil {
+					return err
+				}
+				cur, dsts = e.Src, dsts[:0]
+			}
+			dsts = append(dsts, e.Dst)
+		}
+	case gformat.ADJ6:
+		r := gformat.NewADJ6Reader(in)
+		for {
+			src, dsts, err := r.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if err := w.WriteScope(src, dsts); err != nil {
+				return err
+			}
+		}
+	case gformat.CSR6:
+		g, err := gformat.ReadCSR6(in)
+		if err != nil {
+			return err
+		}
+		for v := int64(0); v < g.NumVertices; v++ {
+			if adj := g.Adj(v); len(adj) > 0 {
+				if err := w.WriteScope(v, adj); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unsupported input format")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gconvert:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gformat"
+)
+
+func writeTSV(t *testing.T, path string, edges []gformat.Edge) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := gformat.NewTSVWriter(f)
+	for _, e := range edges {
+		if err := w.WriteScope(e.Src, []int64{e.Dst}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCopyGraphTSVToADJ6GroupsScopes: consecutive same-source edges
+// collapse into one adjacency record.
+func TestCopyGraphTSVToADJ6(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.tsv")
+	writeTSV(t, in, []gformat.Edge{
+		{Src: 1, Dst: 5}, {Src: 1, Dst: 6}, {Src: 2, Dst: 7}, {Src: 1, Dst: 8},
+	})
+	f, err := os.Open(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := filepath.Join(dir, "out.adj6")
+	of, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := gformat.NewADJ6Writer(of)
+	if err := copyGraph(f, gformat.TSV, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	of.Close()
+
+	rf, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	r := gformat.NewADJ6Reader(rf)
+	type rec struct {
+		src  int64
+		dsts []int64
+	}
+	var recs []rec
+	for {
+		src, dsts, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec{src, dsts})
+	}
+	if len(recs) != 3 { // scopes: 1→{5,6}, 2→{7}, 1→{8}
+		t.Fatalf("records %d: %+v", len(recs), recs)
+	}
+	if recs[0].src != 1 || len(recs[0].dsts) != 2 {
+		t.Fatalf("first scope %+v", recs[0])
+	}
+}
+
+// TestCopyGraphADJ6ToCSR6: full chain through the seekable format.
+func TestCopyGraphADJ6ToCSR6(t *testing.T) {
+	dir := t.TempDir()
+	adjPath := filepath.Join(dir, "g.adj6")
+	af, err := os.Create(adjPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw := gformat.NewADJ6Writer(af)
+	aw.WriteScope(0, []int64{3, 1})
+	aw.WriteScope(2, []int64{0})
+	aw.Close()
+	af.Close()
+
+	in, err := os.Open(adjPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	csrPath := filepath.Join(dir, "g.csr6")
+	cf, err := os.Create(csrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := gformat.NewCSR6Writer(cf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := copyGraph(in, gformat.ADJ6, cw); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+
+	rf, err := os.Open(csrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	g, err := gformat.ReadCSR6(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 || g.Degree(0) != 2 || g.Degree(2) != 1 {
+		t.Fatalf("converted graph wrong: %d edges", g.NumEdges())
+	}
+}

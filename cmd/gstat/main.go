@@ -1,0 +1,141 @@
+// Command gstat analyzes generated graph files: degree distributions,
+// power-law and Zipf slopes, and the oscillation metric.
+//
+// Usage:
+//
+//	gstat -format adj6 out/part-*.adj6
+//	gstat -format tsv -plot out.tsv       # also dump degree/count pairs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/gformat"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		format  = flag.String("format", "adj6", "input format: tsv, adj6 or csr6")
+		plot    = flag.Bool("plot", false, "print out-degree plot points (degree<TAB>count)")
+		inadj   = flag.Bool("inadj", false, "input stores in-adjacency lists (AVS-I output): swap in/out")
+		compare = flag.String("compare", "", "second graph (same format): print KS distances instead of stats")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fatal(fmt.Errorf("no input files"))
+	}
+	f, err := gformat.ParseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+	counter := stats.NewDegreeCounter()
+	var edges int64
+	for _, name := range flag.Args() {
+		n, err := ingest(name, f, counter)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		edges += n
+	}
+	out, in := counter.OutHist(), counter.InHist()
+	if *inadj {
+		// AVS-I part files store (destination, in-neighbours): what the
+		// reader counted as "out" is really "in" and vice versa.
+		out, in = in, out
+	}
+	if *compare != "" {
+		other := stats.NewDegreeCounter()
+		if _, err := ingest(*compare, f, other); err != nil {
+			fatal(fmt.Errorf("%s: %w", *compare, err))
+		}
+		oo, oi := other.OutHist(), other.InHist()
+		if *inadj {
+			oo, oi = oi, oo
+		}
+		fmt.Printf("KS out-degree          %.4f\n", stats.KS(out, oo))
+		fmt.Printf("KS in-degree           %.4f\n", stats.KS(in, oi))
+		fmt.Println("(0 = identical distributions; > ~0.1 = clearly different)")
+		return
+	}
+	fmt.Printf("edges                  %d\n", edges)
+	fmt.Printf("vertices w/ out-edges  %d\n", out.Vertices())
+	fmt.Printf("vertices w/ in-edges   %d\n", in.Vertices())
+	fmt.Printf("max out / in degree    %d / %d\n", out.MaxDegree(), in.MaxDegree())
+	if s, r2 := stats.PowerLawSlope(out); s == s { // NaN check
+		fmt.Printf("out power-law slope    %.3f (r2 %.3f)\n", s, r2)
+	}
+	if s, r2 := stats.PowerLawSlope(in); s == s {
+		fmt.Printf("in power-law slope     %.3f (r2 %.3f)\n", s, r2)
+	}
+	if s, r2 := stats.ZipfSlope(counter.OutDegrees()); s == s {
+		fmt.Printf("out zipf (rank-freq)   %.3f (r2 %.3f)\n", s, r2)
+	}
+	fmt.Printf("out oscillation        %.4f\n", stats.Oscillation(out))
+	fmt.Printf("in oscillation         %.4f\n", stats.Oscillation(in))
+	if *plot {
+		fmt.Println("# out-degree plot: degree<TAB>count")
+		for _, p := range out.Points() {
+			fmt.Printf("%d\t%d\n", p.Degree, p.Count)
+		}
+	}
+}
+
+func ingest(name string, f gformat.Format, counter *stats.DegreeCounter) (int64, error) {
+	file, err := os.Open(name)
+	if err != nil {
+		return 0, err
+	}
+	defer file.Close()
+	var edges int64
+	switch f {
+	case gformat.TSV:
+		r := gformat.NewTSVReader(file)
+		for {
+			e, err := r.Next()
+			if err == io.EOF {
+				return edges, nil
+			}
+			if err != nil {
+				return edges, err
+			}
+			counter.AddEdge(e.Src, e.Dst)
+			edges++
+		}
+	case gformat.ADJ6:
+		r := gformat.NewADJ6Reader(file)
+		for {
+			src, dsts, err := r.Next()
+			if err == io.EOF {
+				return edges, nil
+			}
+			if err != nil {
+				return edges, err
+			}
+			counter.AddScope(src, dsts)
+			edges += int64(len(dsts))
+		}
+	case gformat.CSR6:
+		g, err := gformat.ReadCSR6(file)
+		if err != nil {
+			return 0, err
+		}
+		for v := int64(0); v < g.NumVertices; v++ {
+			adj := g.Adj(v)
+			if len(adj) > 0 {
+				counter.AddScope(v, adj)
+				edges += int64(len(adj))
+			}
+		}
+		return edges, nil
+	}
+	return edges, fmt.Errorf("unsupported format %v", f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gstat:", err)
+	os.Exit(1)
+}

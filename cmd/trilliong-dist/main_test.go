@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseSeed(t *testing.T) {
+	s, err := parseSeed("0.57,0.19,0.19,0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.A != 0.57 || s.D != 0.05 {
+		t.Fatalf("seed %+v", s)
+	}
+	for _, bad := range []string{"", "1,2,3", "x,y,z,w", "0.5,0.5,0.5,0.5"} {
+		if _, err := parseSeed(bad); err == nil {
+			t.Fatalf("parseSeed(%q) accepted", bad)
+		}
+	}
+}

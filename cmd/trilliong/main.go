@@ -1,0 +1,123 @@
+// Command trilliong generates synthetic scale-free graphs with the
+// recursive vector model.
+//
+// Usage:
+//
+//	trilliong -scale 20 -out /data/graph -format adj6
+//	trilliong -scale 24 -noise 0.1 -format csr6 -workers 8 -out out/
+//	trilliong -scale 16 -seed 0.45,0.22,0.22,0.11 -format tsv -out out/
+//
+// The output directory receives one part file per worker; the graph is
+// a pure function of (flags, -master), independent of -workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	trilliong "repro"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 20, "log2 of the vertex count")
+		edgeFactor = flag.Int64("edgefactor", 16, "edges per vertex (|E|/|V|)")
+		seedSpec   = flag.String("seed", "0.57,0.19,0.19,0.05", "seed matrix a,b,c,d")
+		noise      = flag.Float64("noise", 0, "NSKG noise parameter (0 disables, 0.1 standard)")
+		master     = flag.Uint64("master", 1, "master random seed")
+		workers    = flag.Int("workers", 0, "generation goroutines (0 = GOMAXPROCS)")
+		format     = flag.String("format", "adj6", "output format: tsv, adj6 or csr6")
+		out        = flag.String("out", "", "output directory (required; created if missing)")
+		hiprec     = flag.Bool("highprecision", false, "use 128-bit float recursive vectors")
+		dryRun     = flag.Bool("dryrun", false, "generate and count without writing files")
+		estimate   = flag.Bool("estimate", false, "print analytic size estimate and exit (no generation)")
+		resume     = flag.Bool("resume", false, "atomic part files; skip parts that already exist")
+	)
+	flag.Parse()
+
+	seed, err := parseSeed(*seedSpec)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := trilliong.ParseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := trilliong.New(*scale)
+	cfg.EdgeFactor = *edgeFactor
+	cfg.Seed = seed
+	cfg.NoiseParam = *noise
+	cfg.MasterSeed = *master
+	cfg.Workers = *workers
+	cfg.HighPrecision = *hiprec
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	if *estimate {
+		for _, name := range []string{"tsv", "adj6", "csr6"} {
+			ff, _ := trilliong.ParseFormat(name)
+			est, err := cfg.EstimateSize(ff)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-5s %16d bytes (%.2f GB)  %d edges, %d active vertices\n",
+				ff, est.Bytes, float64(est.Bytes)/(1<<30), est.Edges, est.NonZeroVertices)
+		}
+		return
+	}
+
+	var st trilliong.Stats
+	if *dryRun {
+		st, err = cfg.Count(f)
+	} else {
+		if *out == "" {
+			fatal(fmt.Errorf("-out is required (or use -dryrun)"))
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		if *resume {
+			st, err = cfg.ResumeToDir(*out, f)
+		} else {
+			st, err = cfg.GenerateToDir(*out, f)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scale            %d (|V| = %d)\n", *scale, cfg.NumVertices())
+	fmt.Printf("edges            %d (target %d)\n", st.Edges, cfg.NumEdges())
+	fmt.Printf("attempts         %d\n", st.Attempts)
+	fmt.Printf("max out-degree   %d\n", st.MaxDegree)
+	fmt.Printf("format           %s, %d bytes\n", f, st.BytesWritten)
+	fmt.Printf("plan / generate  %v / %v\n", st.PlanDuration, st.GenDuration)
+	fmt.Printf("elapsed          %v\n", st.Elapsed)
+	fmt.Printf("peak worker mem  %d bytes (O(d_max))\n", st.PeakWorkerBytes)
+}
+
+func parseSeed(spec string) (trilliong.Seed, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 4 {
+		return trilliong.Seed{}, fmt.Errorf("seed must be four comma-separated numbers, got %q", spec)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return trilliong.Seed{}, fmt.Errorf("seed entry %q: %w", p, err)
+		}
+		vals[i] = v
+	}
+	s := trilliong.Seed{A: vals[0], B: vals[1], C: vals[2], D: vals[3]}
+	return s, s.Validate()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trilliong:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestParseSeed(t *testing.T) {
+	s, err := parseSeed("0.57,0.19,0.19,0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.A != 0.57 || s.B != 0.19 || s.C != 0.19 || s.D != 0.05 {
+		t.Fatalf("seed %+v", s)
+	}
+	if _, err := parseSeed(" 0.25 , 0.25 ,0.25, 0.25 "); err != nil {
+		t.Fatalf("whitespace not tolerated: %v", err)
+	}
+	for _, bad := range []string{"", "1,2,3", "a,b,c,d", "0.5,0.5,0.5,0.5", "0.9,0.05,0.04,0.02,0"} {
+		if _, err := parseSeed(bad); err == nil {
+			t.Fatalf("parseSeed(%q) accepted", bad)
+		}
+	}
+}

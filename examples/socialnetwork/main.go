@@ -1,0 +1,86 @@
+// Social-network workload: generate a realistic social graph with the
+// NSKG noisy model (the oscillation-free degree plot of the paper's
+// Figure 9c), stream it without touching disk, and print its degree
+// distribution — the property that makes synthetic benchmarks
+// "realistic" for evaluating graph processing systems.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	trilliong "repro"
+)
+
+func main() {
+	cfg := trilliong.New(19) // ~524k users, ~8.4M follows
+	cfg.NoiseParam = 0.1     // NSKG: smooth, realistic power law
+	cfg.MasterSeed = 7
+
+	// Stream scopes straight into an in-memory degree census: no files,
+	// O(d_max) generator memory.
+	outDeg := make(map[int64]int64)  // vertex → out-degree
+	inCount := make(map[int64]int64) // vertex → in-degree
+	stats, err := cfg.GenerateFunc(func(src int64, dsts []int64) error {
+		if len(dsts) > 0 {
+			outDeg[src] += int64(len(dsts))
+		}
+		for _, d := range dsts {
+			inCount[d]++
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("social graph: %d follows among %d users (%v)\n",
+		stats.Edges, cfg.NumVertices(), stats.Elapsed)
+
+	// Degree histogram (log-binned) — the paper's log-log plot in text.
+	hist := make(map[int]int64) // floor(log2(degree)) → vertices
+	var maxDeg int64
+	for _, d := range outDeg {
+		hist[int(math.Log2(float64(d)))]++
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Println("\nout-degree distribution (vertices per degree octave):")
+	for _, k := range keys {
+		bar := hist[k]
+		fmt.Printf("  %7d–%-7d %8d %s\n", 1<<k, 1<<(k+1)-1, bar, hashes(bar))
+	}
+
+	// Who are the influencers? (top in-degree)
+	type user struct {
+		id  int64
+		in  int64
+		out int64
+	}
+	top := make([]user, 0, len(inCount))
+	for v, in := range inCount {
+		top = append(top, user{id: v, in: in, out: outDeg[v]})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].in > top[j].in })
+	fmt.Println("\ntop 5 most-followed users:")
+	for i := 0; i < 5 && i < len(top); i++ {
+		fmt.Printf("  user %-8d followers %-6d follows %d\n", top[i].id, top[i].in, top[i].out)
+	}
+	fmt.Printf("\nmax out-degree %d — power-law tails emerge from the 2x2 seed alone\n", maxDeg)
+}
+
+func hashes(n int64) string {
+	stars := int(math.Log2(float64(n + 1)))
+	out := make([]byte, stars)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

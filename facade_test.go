@@ -1,0 +1,189 @@
+package trilliong
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestResumeFacade: the public resume flow completes an interrupted
+// directory.
+func TestResumeFacade(t *testing.T) {
+	cfg := New(9)
+	cfg.Workers = 2
+	dir := t.TempDir()
+	if _, err := cfg.ResumeToDir(dir, ADJ6); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "part-00001.adj6")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cfg.ResumeToDir(dir, ADJ6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Edges == 0 {
+		t.Fatal("resume regenerated nothing")
+	}
+	parts, _ := filepath.Glob(filepath.Join(dir, "part-*.adj6"))
+	if len(parts) != 2 {
+		t.Fatalf("parts %v", parts)
+	}
+}
+
+// TestEstimateFacade: the public estimator returns the paper-consistent
+// Scale-38 TSV/ADJ6 ratio.
+func TestEstimateFacade(t *testing.T) {
+	cfg := New(38)
+	tsv, err := cfg.EstimateSize(TSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := cfg.EstimateSize(ADJ6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(tsv.Bytes) / float64(adj.Bytes)
+	if ratio < 3 || ratio > 4.5 {
+		t.Fatalf("TSV/ADJ6 ratio %v", ratio)
+	}
+}
+
+// TestKernelFacades: generate a CSR graph and run every public kernel.
+func TestKernelFacades(t *testing.T) {
+	dir := t.TempDir()
+	cfg := New(11)
+	cfg.Workers = 1
+	if _, err := cfg.GenerateToDir(dir, CSR6); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "part-00000.csr6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := ReadCSR6(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := MaxDegreeVertex(g)
+	bfs, err := BFS(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfs.Visited < g.NumVertices/2 {
+		t.Fatalf("BFS visited %d of %d", bfs.Visited, g.NumVertices)
+	}
+	if frac := LargestComponentFraction(g); frac < 0.5 {
+		t.Fatalf("giant component %v", frac)
+	}
+	labels, n := ConnectedComponents(g)
+	if int64(len(labels)) != g.NumVertices || n < 1 {
+		t.Fatalf("components %d over %d labels", n, len(labels))
+	}
+	rank, iters := PageRank(g, 0.85, 1e-8, 100)
+	if iters == 0 || len(rank) != int(g.NumVertices) {
+		t.Fatalf("pagerank iters %d len %d", iters, len(rank))
+	}
+	var sum float64
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("rank mass %v", sum)
+	}
+}
+
+// TestAVSIThroughPublicConfig: the in-edge orientation is reachable via
+// the facade and changes which axis the part files describe.
+func TestAVSIThroughPublicConfig(t *testing.T) {
+	cfg := New(9)
+	cfg.Orientation = AVSI
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var scopes int64
+	st, err := cfg.GenerateFunc(func(v int64, srcs []int64) error {
+		scopes++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Edges == 0 || scopes == 0 {
+		t.Fatal("AVS-I generated nothing")
+	}
+}
+
+// TestProductionOptions.
+func TestProductionOptions(t *testing.T) {
+	o := Production()
+	if !o.ReuseVector || !o.SparseRecursion || !o.SingleRandom || o.LinearSearch {
+		t.Fatalf("production options %+v", o)
+	}
+}
+
+// TestSocialNetworkFacade.
+func TestSocialNetworkFacade(t *testing.T) {
+	s := SocialNetworkSchema(4096, 1<<14)
+	counts, err := s.Generate(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["follows"] == 0 {
+		t.Fatal("no follows edges")
+	}
+}
+
+// TestShippedSchemasParse: the JSON schemas in schemas/ stay in sync
+// with the parser.
+func TestShippedSchemasParse(t *testing.T) {
+	for _, name := range []string{"schemas/bibliography.json", "schemas/socialnetwork.json"} {
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := ParseSchema(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(s.EdgeTypes) == 0 {
+			t.Fatalf("%s: empty schema", name)
+		}
+	}
+}
+
+// TestUndirectedBFSFacade: the undirected traversal reaches more than
+// the directed one on a generated graph.
+func TestUndirectedBFSFacade(t *testing.T) {
+	dir := t.TempDir()
+	cfg := New(10)
+	cfg.Workers = 1
+	if _, err := cfg.GenerateToDir(dir, CSR6); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "part-00000.csr6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := ReadCSR6(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := Reverse(g)
+	root := MaxDegreeVertex(g)
+	directed, err := BFS(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	und, err := BFSUndirected(g, rev, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if und.Visited < directed.Visited {
+		t.Fatalf("undirected reached %d < directed %d", und.Visited, directed.Visited)
+	}
+}

@@ -1,0 +1,34 @@
+package trilliong
+
+import (
+	"io"
+
+	"repro/internal/gformat"
+)
+
+// Edge is one directed edge (src, dst).
+type Edge = gformat.Edge
+
+// MaxVertexID is the largest vertex ID representable in the 6-byte
+// binary formats (2^48 − 1).
+const MaxVertexID = gformat.MaxVertexID
+
+// TSVReader streams edges from the text edge-list format.
+type TSVReader = gformat.TSVReader
+
+// NewTSVReader returns a reader over a TSV edge list.
+func NewTSVReader(r io.Reader) *TSVReader { return gformat.NewTSVReader(r) }
+
+// ADJ6Reader streams (source, adjacency) records from the 6-byte
+// binary adjacency-list format.
+type ADJ6Reader = gformat.ADJ6Reader
+
+// NewADJ6Reader returns a reader over an ADJ6 file.
+func NewADJ6Reader(r io.Reader) *ADJ6Reader { return gformat.NewADJ6Reader(r) }
+
+// CSRGraph is a fully loaded CSR6 graph image with O(1) adjacency
+// access.
+type CSRGraph = gformat.CSRGraph
+
+// ReadCSR6 loads a CSR6 part file.
+func ReadCSR6(r io.Reader) (*CSRGraph, error) { return gformat.ReadCSR6(r) }

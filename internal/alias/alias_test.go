@@ -1,0 +1,149 @@
+package alias
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("expected error for empty weights")
+	}
+	if _, err := New([]float64{0, 0}); err == nil {
+		t.Fatal("expected error for all-zero weights")
+	}
+	if _, err := New([]float64{1, -1}); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+	if _, err := New([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("expected error for NaN weight")
+	}
+}
+
+func TestSingleOutcome(t *testing.T) {
+	tab, err := New([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if tab.Sample(src) != 0 {
+			t.Fatal("single outcome must always sample 0")
+		}
+	}
+}
+
+// TestSampleDistribution: chi-square of samples against the weights for
+// a deliberately lumpy distribution including zero-weight outcomes.
+func TestSampleDistribution(t *testing.T) {
+	weights := []float64{10, 0, 1, 5, 0.5, 20, 0, 3}
+	tab, err := New(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	const draws = 400000
+	obs := make([]float64, len(weights))
+	for i := 0; i < draws; i++ {
+		obs[tab.Sample(src)]++
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	expect := make([]float64, len(weights))
+	for i, w := range weights {
+		expect[i] = draws * w / total
+	}
+	for i, w := range weights {
+		if w == 0 && obs[i] > 0 {
+			t.Fatalf("zero-weight outcome %d sampled %v times", i, obs[i])
+		}
+	}
+	if stat := stats.ChiSquare(obs, expect, 5); stat > 30 { // 5 dof, 99.9th ≈ 20.5
+		t.Fatalf("chi-square %v", stat)
+	}
+}
+
+// TestUniformWeights: all-equal weights sample uniformly.
+func TestUniformWeights(t *testing.T) {
+	const n = 64
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 3.7
+	}
+	tab, err := New(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	const draws = 128000
+	counts := make([]float64, n)
+	for i := 0; i < draws; i++ {
+		counts[tab.Sample(src)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(c-want) > 6*math.Sqrt(want) {
+			t.Fatalf("outcome %d count %v far from %v", i, c, want)
+		}
+	}
+}
+
+// TestSampleInRangeProperty: any valid weights keep samples in range.
+func TestSampleInRangeProperty(t *testing.T) {
+	src := rng.New(5)
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		var total float64
+		for i, r := range raw {
+			weights[i] = float64(r)
+			total += weights[i]
+		}
+		if total == 0 {
+			weights[0] = 1
+		}
+		tab, err := New(weights)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			s := tab.Sample(src)
+			if s < 0 || s >= len(weights) {
+				return false
+			}
+			if weights[s] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	weights := make([]float64, 1<<16)
+	src := rng.New(7)
+	for i := range weights {
+		weights[i] = src.Float64()
+	}
+	tab, err := New(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += tab.Sample(src)
+	}
+	_ = sink
+}

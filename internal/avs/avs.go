@@ -1,0 +1,322 @@
+// Package avs implements the A-Vertex-Scope engine of Sections 3.3–5:
+// for each source vertex u (one scope), it draws the scope size from
+// Theorem 1's normal approximation of the binomial and generates that
+// many *distinct* destinations with the recursive vector model
+// (Algorithm 4), deduplicating inside the scope only.
+//
+// The engine is deliberately independent of threading and I/O: callers
+// (the TrillionG core, the partitioner, the experiment harness) decide
+// which scopes to run where and what to do with the adjacency lists.
+package avs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/memacct"
+	"repro/internal/recvec"
+	"repro/internal/rng"
+	"repro/internal/skg"
+)
+
+// Config parameterizes scope generation for one graph.
+type Config struct {
+	// Seed is the 2x2 probability matrix.
+	Seed skg.Seed
+	// Levels is log2|V|.
+	Levels int
+	// NumEdges is the target |E| of Theorem 1 (the binomial trial count).
+	NumEdges int64
+	// Noise, when non-nil, switches the engine to the NSKG model
+	// (Appendix C); it must have at least Levels levels.
+	Noise *skg.Noise
+	// Opts selects the ablation variant of edge determination;
+	// recvec.Production() is the real system.
+	Opts recvec.Options
+	// HighPrecision switches RecVec arithmetic to math/big.Float
+	// (the paper's BigDecimal mode, Section 5).
+	HighPrecision bool
+	// MaxScopeFactor caps a sampled scope size at MaxScopeFactor times
+	// the scope's expectation (0 means no cap beyond |V|). TrillionG
+	// does not need it; it exists for fault-injection tests.
+	MaxScopeFactor float64
+	// AllowDuplicates skips in-scope duplicate elimination, emitting raw
+	// stochastic trials like the Graph500 edge-list generator. The
+	// paper's criticism of such lists ("a huge number of repeated
+	// edges") is measurable by diffing this mode against the default.
+	AllowDuplicates bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Seed.Validate(); err != nil {
+		return err
+	}
+	if c.Levels < 1 || c.Levels > 47 {
+		return fmt.Errorf("avs: levels %d outside [1, 47]", c.Levels)
+	}
+	if c.NumEdges < 1 {
+		return fmt.Errorf("avs: NumEdges %d < 1", c.NumEdges)
+	}
+	if c.Noise != nil && c.Noise.Levels() < c.Levels {
+		return fmt.Errorf("avs: noise has %d levels, need %d", c.Noise.Levels(), c.Levels)
+	}
+	return nil
+}
+
+// NumVertices returns |V| = 2^Levels.
+func (c Config) NumVertices() int64 { return int64(1) << uint(c.Levels) }
+
+// Generator generates scopes for one graph configuration. Scope and
+// ScopeWithSize are not safe for concurrent use (they share a scratch
+// dedup buffer) — give each worker its own instance, as core.Generate
+// does. ScopeSize and the probability accessors are read-only and safe
+// to call concurrently (the partitioner's parallel combine relies on
+// this).
+type Generator struct {
+	cfg Config
+	// acct, when non-nil, is charged for the per-scope dedup structure
+	// and the recursive vector, making O(d_max) visible to experiments.
+	acct *memacct.Acct
+	// scratch is the reusable in-scope duplicate filter.
+	scratch dedupSet
+}
+
+// New returns a scope generator. acct may be nil.
+func New(cfg Config, acct *memacct.Acct) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: cfg, acct: acct}, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// RowProb returns P_{u→} under the configured model.
+func (g *Generator) RowProb(u int64) float64 {
+	if g.cfg.Noise != nil {
+		return g.cfg.Noise.RowProb(u, g.cfg.Levels)
+	}
+	return skg.RowProb(g.cfg.Seed, u, g.cfg.Levels)
+}
+
+// ExpectedDegree returns E[|S(u,V)|] = |E|·P_{u→}, the partitioner's
+// load estimate for scope u.
+func (g *Generator) ExpectedDegree(u int64) float64 {
+	return float64(g.cfg.NumEdges) * g.RowProb(u)
+}
+
+// ScopeSize draws |S(u,V)| per Theorem 1: Binomial(|E|, P_{u→}),
+// approximated by N(np, np(1−p)) for large n. The draw is clamped to
+// [0, |V|] because a scope has only |V| distinct cells.
+func (g *Generator) ScopeSize(u int64, src *rng.Source) int64 {
+	p := g.RowProb(u)
+	d := src.Binomial(g.cfg.NumEdges, p)
+	if nv := g.cfg.NumVertices(); d > nv {
+		d = nv
+	}
+	if g.cfg.MaxScopeFactor > 0 {
+		if lim := int64(math.Ceil(g.cfg.MaxScopeFactor * float64(g.cfg.NumEdges) * p)); d > lim {
+			d = lim
+		}
+	}
+	return d
+}
+
+// dedupSet is the in-scope duplicate filter. Small scopes use a sorted
+// slice (cache-friendly, zero allocations after warm-up); large ones a
+// map. The 48-entry crossover favours the common case of edge factors
+// ~16 where most scopes are small.
+type dedupSet struct {
+	small []int64
+	big   map[int64]struct{}
+	// pool keeps a cleared map for reuse across scopes, avoiding a map
+	// allocation per high-degree scope.
+	pool    map[int64]struct{}
+	acct    *memacct.Acct
+	charged int64
+}
+
+const dedupSmallMax = 48
+
+func (s *dedupSet) reset() {
+	s.small = s.small[:0]
+	if s.big != nil {
+		// Recycle moderate maps; drop oversized ones so one hot scope
+		// does not pin memory for the rest of the run.
+		if len(s.big) <= 4096 {
+			clear(s.big)
+			s.pool = s.big
+		}
+		s.big = nil
+	}
+	if s.acct != nil && s.charged != 0 {
+		s.acct.Add(-s.charged)
+		s.charged = 0
+	}
+}
+
+func (s *dedupSet) charge() {
+	if s.acct != nil {
+		s.acct.Add(memacct.VertexBytes)
+		s.charged += memacct.VertexBytes
+	}
+}
+
+// insert returns false if v was already present.
+func (s *dedupSet) insert(v int64) bool {
+	if s.big != nil {
+		if _, dup := s.big[v]; dup {
+			return false
+		}
+		s.big[v] = struct{}{}
+		s.charge()
+		return true
+	}
+	// Binary search in the sorted small slice.
+	lo, hi := 0, len(s.small)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.small[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.small) && s.small[lo] == v {
+		return false
+	}
+	if len(s.small) < dedupSmallMax {
+		s.small = append(s.small, 0)
+		copy(s.small[lo+1:], s.small[lo:])
+		s.small[lo] = v
+		s.charge()
+		return true
+	}
+	// Graduate to map (reusing the pooled one when available).
+	if s.pool != nil {
+		s.big, s.pool = s.pool, nil
+	} else {
+		s.big = make(map[int64]struct{}, 2*dedupSmallMax)
+	}
+	for _, x := range s.small {
+		s.big[x] = struct{}{}
+	}
+	s.big[v] = struct{}{}
+	s.charge()
+	return true
+}
+
+// ScopeResult carries one generated scope.
+type ScopeResult struct {
+	Src int64
+	// Dsts are the distinct destinations, in generation order. The slice
+	// aliases the buffer passed to GenerateScope.
+	Dsts []int64
+	// Attempts counts stochastic edge trials including duplicates.
+	Attempts int64
+}
+
+// Scope generates the full scope of source vertex u: it draws the scope
+// size, builds u's recursive vector once (Idea#1, unless ablated), and
+// determines destinations until the size is reached, discarding
+// duplicates. buf, if non-nil, is reused for the destination slice.
+//
+// The returned destinations are unique. Generation is deterministic
+// given src's state.
+func (g *Generator) Scope(u int64, src *rng.Source, buf []int64) ScopeResult {
+	size := g.ScopeSize(u, src)
+	return g.ScopeWithSize(u, size, src, buf)
+}
+
+// ScopeWithSize generates exactly `size` distinct destinations for u
+// (clamped to |V|). It is split from Scope so the partitioner can draw
+// scope sizes ahead of time (Figure 6) and later generate the edges.
+func (g *Generator) ScopeWithSize(u int64, size int64, src *rng.Source, buf []int64) ScopeResult {
+	if nv := g.cfg.NumVertices(); size > nv {
+		size = nv
+	}
+	res := ScopeResult{Src: u, Dsts: buf[:0]}
+	if size <= 0 {
+		return res
+	}
+
+	cfg := g.cfg
+	var (
+		vec *recvec.Vector
+		big *recvec.BigVector
+	)
+	build := func() {
+		if cfg.HighPrecision {
+			big = recvec.NewBig(cfg.Seed, u, cfg.Levels, 0)
+			return
+		}
+		if cfg.Noise != nil {
+			vec = recvec.NewNoisy(cfg.Noise, u, cfg.Levels)
+		} else {
+			vec = recvec.New(cfg.Seed, u, cfg.Levels)
+		}
+	}
+	build()
+	vecBytes := int64((cfg.Levels + 1) * 16) // f + sigma, float64 each
+	if g.acct != nil {
+		g.acct.Add(vecBytes)
+		defer g.acct.Add(-vecBytes)
+	}
+
+	var total float64
+	if big != nil {
+		total = big.RowProb()
+	} else {
+		total = vec.RowProb()
+	}
+	if total <= 0 {
+		return res
+	}
+
+	if cfg.AllowDuplicates {
+		for res.Attempts < size {
+			if !cfg.Opts.ReuseVector && !cfg.HighPrecision {
+				build()
+			}
+			x := src.UniformTo(total)
+			var dst int64
+			if big != nil {
+				dst = big.Determine(x)
+			} else {
+				dst = vec.DetermineOpt(x, src, cfg.Opts)
+			}
+			res.Attempts++
+			res.Dsts = append(res.Dsts, dst)
+		}
+		return res
+	}
+
+	set := &g.scratch
+	set.acct = g.acct
+	set.reset()
+	defer set.reset()
+	// A scope close to |V| distinct cells would make rejection sampling
+	// quadratic; bail into direct enumeration when duplicates dominate
+	// pathologically (uniform seeds with tiny graphs in tests).
+	maxAttempts := 64*size + 1024
+
+	for int64(len(res.Dsts)) < size && res.Attempts < maxAttempts {
+		if !cfg.Opts.ReuseVector && !cfg.HighPrecision {
+			build() // Idea#1 ablation: rebuild the vector for every edge
+		}
+		x := src.UniformTo(total)
+		var dst int64
+		if big != nil {
+			dst = big.Determine(x)
+		} else {
+			dst = vec.DetermineOpt(x, src, cfg.Opts)
+		}
+		res.Attempts++
+		if set.insert(dst) {
+			res.Dsts = append(res.Dsts, dst)
+		}
+	}
+	return res
+}

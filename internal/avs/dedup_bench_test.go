@@ -1,0 +1,48 @@
+package avs
+
+// Ablation benchmarks for the in-scope dedup structure (DESIGN.md §5):
+// the sorted small slice vs a Go map across degrees around the
+// crossover. Run with `go test -bench=Dedup ./internal/avs/`.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func benchDedupSlice(b *testing.B, degree int) {
+	src := rng.New(1)
+	vals := make([]int64, degree)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := dedupSet{}
+		for j := range vals {
+			vals[j] = src.Int63n(1 << 30)
+		}
+		for _, v := range vals {
+			s.insert(v)
+		}
+	}
+}
+
+func benchDedupMap(b *testing.B, degree int) {
+	src := rng.New(1)
+	vals := make([]int64, degree)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := make(map[int64]struct{}, 8)
+		for j := range vals {
+			vals[j] = src.Int63n(1 << 30)
+		}
+		for _, v := range vals {
+			m[v] = struct{}{}
+		}
+	}
+}
+
+func BenchmarkDedupHybridDegree8(b *testing.B)   { benchDedupSlice(b, 8) }
+func BenchmarkDedupMapDegree8(b *testing.B)      { benchDedupMap(b, 8) }
+func BenchmarkDedupHybridDegree32(b *testing.B)  { benchDedupSlice(b, 32) }
+func BenchmarkDedupMapDegree32(b *testing.B)     { benchDedupMap(b, 32) }
+func BenchmarkDedupHybridDegree512(b *testing.B) { benchDedupSlice(b, 512) }
+func BenchmarkDedupMapDegree512(b *testing.B)    { benchDedupMap(b, 512) }

@@ -1,0 +1,244 @@
+// Package cluster is the distributed-execution substrate that stands in
+// for the paper's 10-PC Spark cluster (see DESIGN.md, substitutions).
+//
+// A Sim models a cluster of M machines × T threads. Work is expressed in
+// phases: a phase runs one task per worker, each task is timed
+// individually, and the phase contributes the *maximum* task time to the
+// simulated clock — the makespan a real cluster would observe, including
+// the workload skew the paper discusses for RMAT/p. Network traffic is
+// charged through an explicit cost model (bytes / bandwidth + latency),
+// which is how the 1 GbE vs 100 Gb InfiniBand comparison of Appendix D
+// (Figure 14) is reproduced without the hardware.
+//
+// Tasks execute sequentially in submission order so per-task timing is
+// not distorted by host-core contention; determinism is guaranteed by
+// the repo-wide rule that all randomness is scope-seeded.
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Machines is the number of machines (the paper uses 10 slaves).
+	Machines int
+	// ThreadsPerMachine is the number of worker threads per machine
+	// (the paper uses 6).
+	ThreadsPerMachine int
+	// BandwidthBytesPerSec is each machine's NIC bandwidth, full duplex.
+	// 0 means infinite (network time is only latency).
+	BandwidthBytesPerSec float64
+	// LatencySec is the per-transfer-phase latency.
+	LatencySec float64
+}
+
+// OneGbE is the paper's default network: 1 Gb/s ≈ 125 MB/s.
+const OneGbE = 125e6
+
+// InfiniBandEDR is the paper's Graph500 network: 100 Gb/s ≈ 12.5 GB/s.
+const InfiniBandEDR = 12.5e9
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Machines < 1 {
+		return fmt.Errorf("cluster: machines %d < 1", c.Machines)
+	}
+	if c.ThreadsPerMachine < 1 {
+		return fmt.Errorf("cluster: threads/machine %d < 1", c.ThreadsPerMachine)
+	}
+	if c.BandwidthBytesPerSec < 0 || c.LatencySec < 0 {
+		return fmt.Errorf("cluster: negative network parameters")
+	}
+	return nil
+}
+
+// Workers returns the total worker count P = machines × threads.
+func (c Config) Workers() int { return c.Machines * c.ThreadsPerMachine }
+
+// Worker identifies one simulated thread.
+type Worker struct {
+	Machine int // machine index in [0, Machines)
+	Thread  int // thread index within the machine
+	Index   int // global worker index in [0, Workers)
+}
+
+// PhaseStat records one phase's contribution to the simulated clock.
+type PhaseStat struct {
+	Name string
+	// Makespan is the slowest worker's task time (compute phases) or
+	// the modeled transfer time (network phases).
+	Makespan time.Duration
+	// TotalWork is the sum of all task times (compute phases only).
+	TotalWork time.Duration
+	// Bytes is the traffic volume (network phases only).
+	Bytes int64
+	// Network marks transfer phases.
+	Network bool
+
+	workersN int // worker count of the phase, for Skew
+}
+
+// Skew returns max/mean task time, the load-balance figure of merit
+// (1.0 = perfect). Returns 0 for network phases.
+func (p PhaseStat) Skew() float64 {
+	if p.Network || p.TotalWork == 0 {
+		return 0
+	}
+	return float64(p.Makespan) / (float64(p.TotalWork) / float64(workerCount(p)))
+}
+
+// workers stashes the per-phase worker count in the stat; kept private
+// via this accessor pair to keep the struct comparable.
+func workerCount(p PhaseStat) int {
+	if p.workersN == 0 {
+		return 1
+	}
+	return p.workersN
+}
+
+// Sim is one simulated cluster execution. It is not safe for concurrent
+// use; a Sim represents a single serialized experiment run.
+type Sim struct {
+	cfg    Config
+	phases []PhaseStat
+}
+
+// New returns a fresh simulation.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sim{cfg: cfg}, nil
+}
+
+// Config returns the simulated cluster's configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// RunPhase executes task once per worker, sequentially, timing each
+// execution, and charges the makespan (max task time) to the simulated
+// clock. Errors abort the phase.
+func (s *Sim) RunPhase(name string, task func(w Worker) error) error {
+	var max, total time.Duration
+	idx := 0
+	for m := 0; m < s.cfg.Machines; m++ {
+		for t := 0; t < s.cfg.ThreadsPerMachine; t++ {
+			w := Worker{Machine: m, Thread: t, Index: idx}
+			idx++
+			start := time.Now()
+			err := task(w)
+			d := time.Since(start)
+			total += d
+			if d > max {
+				max = d
+			}
+			if err != nil {
+				return fmt.Errorf("cluster: phase %s worker %d: %w", name, w.Index, err)
+			}
+		}
+	}
+	s.phases = append(s.phases, PhaseStat{
+		Name: name, Makespan: max, TotalWork: total, workersN: s.cfg.Workers(),
+	})
+	return nil
+}
+
+// AddTransfer charges a shuffle described by a traffic matrix:
+// bytes[from][to] crossing machine boundaries. Intra-machine traffic is
+// free. The modeled time is latency + the bottleneck NIC's serialized
+// bytes (the larger of its send and receive volume) over the bandwidth.
+func (s *Sim) AddTransfer(name string, bytes [][]int64) error {
+	m := s.cfg.Machines
+	if len(bytes) != m {
+		return fmt.Errorf("cluster: traffic matrix has %d rows, want %d", len(bytes), m)
+	}
+	out := make([]int64, m)
+	in := make([]int64, m)
+	var volume int64
+	for from := range bytes {
+		if len(bytes[from]) != m {
+			return fmt.Errorf("cluster: traffic matrix row %d has %d cols, want %d", from, len(bytes[from]), m)
+		}
+		for to, b := range bytes[from] {
+			if b < 0 {
+				return fmt.Errorf("cluster: negative transfer %d", b)
+			}
+			if from == to {
+				continue
+			}
+			out[from] += b
+			in[to] += b
+			volume += b
+		}
+	}
+	var bottleneck int64
+	for i := 0; i < m; i++ {
+		if out[i] > bottleneck {
+			bottleneck = out[i]
+		}
+		if in[i] > bottleneck {
+			bottleneck = in[i]
+		}
+	}
+	d := time.Duration(s.cfg.LatencySec * float64(time.Second))
+	if s.cfg.BandwidthBytesPerSec > 0 {
+		d += time.Duration(float64(bottleneck) / s.cfg.BandwidthBytesPerSec * float64(time.Second))
+	}
+	s.phases = append(s.phases, PhaseStat{Name: name, Makespan: d, Bytes: volume, Network: true})
+	return nil
+}
+
+// AddModeledTime charges an explicitly computed duration (e.g. a cost
+// model for work the host cannot afford to execute for real).
+func (s *Sim) AddModeledTime(name string, d time.Duration) {
+	s.phases = append(s.phases, PhaseStat{Name: name, Makespan: d})
+}
+
+// Elapsed returns the simulated wall-clock: the sum of phase makespans
+// (phases are barriers, as in the paper's Spark stages).
+func (s *Sim) Elapsed() time.Duration {
+	var total time.Duration
+	for _, p := range s.phases {
+		total += p.Makespan
+	}
+	return total
+}
+
+// NetworkTime returns the simulated time spent in transfer phases.
+func (s *Sim) NetworkTime() time.Duration {
+	var total time.Duration
+	for _, p := range s.phases {
+		if p.Network {
+			total += p.Makespan
+		}
+	}
+	return total
+}
+
+// BytesShuffled returns the total cross-machine traffic volume.
+func (s *Sim) BytesShuffled() int64 {
+	var total int64
+	for _, p := range s.phases {
+		total += p.Bytes
+	}
+	return total
+}
+
+// Phases returns the recorded phase statistics in execution order.
+func (s *Sim) Phases() []PhaseStat {
+	out := make([]PhaseStat, len(s.phases))
+	copy(out, s.phases)
+	return out
+}
+
+// PhaseTime returns the summed makespan of phases with the given name.
+func (s *Sim) PhaseTime(name string) time.Duration {
+	var total time.Duration
+	for _, p := range s.phases {
+		if p.Name == name {
+			total += p.Makespan
+		}
+	}
+	return total
+}

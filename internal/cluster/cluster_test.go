@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestConfigValidate(t *testing.T) {
+	ok := Config{Machines: 10, ThreadsPerMachine: 6}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Workers() != 60 {
+		t.Fatalf("Workers = %d", ok.Workers())
+	}
+	for _, bad := range []Config{
+		{Machines: 0, ThreadsPerMachine: 1},
+		{Machines: 1, ThreadsPerMachine: 0},
+		{Machines: 1, ThreadsPerMachine: 1, BandwidthBytesPerSec: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("expected error for %+v", bad)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New should reject invalid config")
+	}
+}
+
+func TestRunPhaseVisitsAllWorkers(t *testing.T) {
+	s, err := New(Config{Machines: 3, ThreadsPerMachine: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visited []Worker
+	if err := s.RunPhase("gen", func(w Worker) error {
+		visited = append(visited, w)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 6 {
+		t.Fatalf("visited %d workers", len(visited))
+	}
+	for i, w := range visited {
+		if w.Index != i {
+			t.Fatalf("worker %d has index %d", i, w.Index)
+		}
+		if w.Machine != i/2 || w.Thread != i%2 {
+			t.Fatalf("worker %d = %+v", i, w)
+		}
+	}
+}
+
+func TestRunPhaseMakespanIsMax(t *testing.T) {
+	s, err := New(Config{Machines: 1, ThreadsPerMachine: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunPhase("p", func(w Worker) error {
+		if w.Index == 1 {
+			time.Sleep(20 * time.Millisecond)
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ph := s.Phases()
+	if len(ph) != 1 {
+		t.Fatalf("phases %d", len(ph))
+	}
+	if ph[0].Makespan < 18*time.Millisecond {
+		t.Fatalf("makespan %v too small", ph[0].Makespan)
+	}
+	if ph[0].TotalWork < ph[0].Makespan {
+		t.Fatal("total work below makespan")
+	}
+	if sk := ph[0].Skew(); sk < 1.5 {
+		t.Fatalf("skew %v should reflect the slow worker", sk)
+	}
+}
+
+func TestRunPhasePropagatesError(t *testing.T) {
+	s, _ := New(Config{Machines: 2, ThreadsPerMachine: 1})
+	boom := errors.New("boom")
+	err := s.RunPhase("p", func(w Worker) error {
+		if w.Index == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddTransferBottleneckModel(t *testing.T) {
+	s, err := New(Config{
+		Machines: 2, ThreadsPerMachine: 1,
+		BandwidthBytesPerSec: 1000, LatencySec: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machine 0 sends 2000 B to machine 1; intra-machine is free.
+	traffic := [][]int64{
+		{5000, 2000},
+		{0, 9999},
+	}
+	if err := s.AddTransfer("shuffle", traffic); err != nil {
+		t.Fatal(err)
+	}
+	want := 500*time.Millisecond + 2*time.Second
+	got := s.Elapsed()
+	if math.Abs(float64(got-want)) > float64(time.Millisecond) {
+		t.Fatalf("elapsed %v, want %v", got, want)
+	}
+	if s.BytesShuffled() != 2000 {
+		t.Fatalf("bytes %d", s.BytesShuffled())
+	}
+	if s.NetworkTime() != got {
+		t.Fatal("all time should be network time")
+	}
+}
+
+func TestAddTransferValidation(t *testing.T) {
+	s, _ := New(Config{Machines: 2, ThreadsPerMachine: 1})
+	if err := s.AddTransfer("x", [][]int64{{0, 0}}); err == nil {
+		t.Fatal("expected row-count error")
+	}
+	if err := s.AddTransfer("x", [][]int64{{0}, {0}}); err == nil {
+		t.Fatal("expected col-count error")
+	}
+	if err := s.AddTransfer("x", [][]int64{{0, -5}, {0, 0}}); err == nil {
+		t.Fatal("expected negative error")
+	}
+}
+
+func TestInfiniteBandwidthChargesOnlyLatency(t *testing.T) {
+	s, _ := New(Config{Machines: 2, ThreadsPerMachine: 1, LatencySec: 0.1})
+	if err := s.AddTransfer("s", [][]int64{{0, 1 << 40}, {0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Elapsed(); got != 100*time.Millisecond {
+		t.Fatalf("elapsed %v, want 100ms", got)
+	}
+}
+
+func TestBandwidthOrdering(t *testing.T) {
+	// The same traffic takes ~100x longer on 1 GbE than on InfiniBand —
+	// the Figure 14 lever.
+	mk := func(bw float64) time.Duration {
+		s, _ := New(Config{Machines: 2, ThreadsPerMachine: 1, BandwidthBytesPerSec: bw})
+		if err := s.AddTransfer("s", [][]int64{{0, 1 << 30}, {0, 0}}); err != nil {
+			t.Fatal(err)
+		}
+		return s.Elapsed()
+	}
+	slow, fast := mk(OneGbE), mk(InfiniBandEDR)
+	ratio := float64(slow) / float64(fast)
+	if math.Abs(ratio-100) > 1 {
+		t.Fatalf("1G/IB ratio %v, want 100", ratio)
+	}
+}
+
+func TestAddModeledTimeAndPhaseTime(t *testing.T) {
+	s, _ := New(Config{Machines: 1, ThreadsPerMachine: 1})
+	s.AddModeledTime("merge", time.Second)
+	s.AddModeledTime("merge", 2*time.Second)
+	s.AddModeledTime("other", time.Second)
+	if got := s.PhaseTime("merge"); got != 3*time.Second {
+		t.Fatalf("PhaseTime(merge) = %v", got)
+	}
+	if got := s.Elapsed(); got != 4*time.Second {
+		t.Fatalf("Elapsed = %v", got)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gformat"
+)
+
+// TestEstimateMatchesActual: analytic predictions land within a few
+// percent of real generated output for every format.
+func TestEstimateMatchesActual(t *testing.T) {
+	cfg := DefaultConfig(13)
+	cfg.MasterSeed = 3
+	for _, format := range []gformat.Format{gformat.TSV, gformat.ADJ6} {
+		est, err := EstimateSize(cfg, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Generate(cfg, DiscardSinks(format))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(est.Edges)-float64(st.Edges)) > 0.05*float64(st.Edges) {
+			t.Fatalf("%v: estimated %d edges, actual %d", format, est.Edges, st.Edges)
+		}
+		gap := math.Abs(float64(est.Bytes)-float64(st.BytesWritten)) / float64(st.BytesWritten)
+		if gap > 0.08 {
+			t.Fatalf("%v: estimated %d bytes, actual %d (gap %.1f%%)",
+				format, est.Bytes, st.BytesWritten, 100*gap)
+		}
+	}
+}
+
+// TestEstimateNonZeroVertices: predicted vertex activity matches a real
+// run.
+func TestEstimateNonZeroVertices(t *testing.T) {
+	cfg := DefaultConfig(12)
+	cfg.MasterSeed = 5
+	est, err := EstimateSize(cfg, gformat.ADJ6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nz int64
+	if _, err := Generate(cfg, CallbackSinks(func(src int64, dsts []int64) error {
+		if len(dsts) > 0 {
+			nz++
+		}
+		return nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(est.NonZeroVertices)-float64(nz)) > 0.03*float64(nz) {
+		t.Fatalf("estimated %d active vertices, actual %d", est.NonZeroVertices, nz)
+	}
+}
+
+// TestEstimatePaperScale38Ratio reproduces the Section 5 claim: at
+// Scale 38 with edge factor 16, TSV ≈ 90 TB and ADJ6 ≈ 25 TB (a 3–4x
+// ratio). Pure arithmetic — no generation.
+func TestEstimatePaperScale38Ratio(t *testing.T) {
+	cfg := DefaultConfig(38)
+	tsv, err := EstimateSize(cfg, gformat.TSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := EstimateSize(cfg, gformat.ADJ6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tb = 1 << 40
+	tsvTB := float64(tsv.Bytes) / tb
+	adjTB := float64(adj.Bytes) / tb
+	// The paper says ≈90 TB and ≈25 TB. Accept ±20%.
+	if math.Abs(tsvTB-90) > 18 {
+		t.Fatalf("Scale-38 TSV estimate %.1f TB, paper says ≈90", tsvTB)
+	}
+	if math.Abs(adjTB-25) > 5 {
+		t.Fatalf("Scale-38 ADJ6 estimate %.1f TB, paper says ≈25", adjTB)
+	}
+	ratio := tsvTB / adjTB
+	if ratio < 3 || ratio > 4.5 {
+		t.Fatalf("TSV/ADJ6 ratio %.2f, paper says 3–4x", ratio)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	bad := DefaultConfig(0)
+	if _, err := EstimateSize(bad, gformat.ADJ6); err == nil {
+		t.Fatal("expected config error")
+	}
+}

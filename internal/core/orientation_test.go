@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/skg"
+	"repro/internal/stats"
+)
+
+// TestAVSIOrientation: under AVS-I, a scope carries in-neighbours, so
+// the scope-size distribution is the graph's IN-degree distribution —
+// which for seed K equals the out-degree distribution of K transposed.
+func TestAVSIOrientation(t *testing.T) {
+	asym := skg.Seed{A: 0.57, B: 0.29, C: 0.09, D: 0.05} // β ≠ γ: in/out differ
+
+	degreesOf := func(orient Orientation, seed skg.Seed) []int64 {
+		cfg := DefaultConfig(12)
+		cfg.Seed = seed
+		cfg.Orientation = orient
+		cfg.MasterSeed = 9
+		var out []int64
+		if _, err := Generate(cfg, CallbackSinks(func(v int64, others []int64) error {
+			if len(others) > 0 {
+				out = append(out, int64(len(others)))
+			}
+			return nil
+		})); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	inScopes := degreesOf(AVSI, asym)               // in-degrees of K
+	outScopesT := degreesOf(AVSO, asym.Transpose()) // out-degrees of K^T
+	outScopes := degreesOf(AVSO, asym)              // out-degrees of K
+
+	hIn := stats.FromDegrees(inScopes)
+	hOutT := stats.FromDegrees(outScopesT)
+	hOut := stats.FromDegrees(outScopes)
+
+	// AVS-I(K) ≡ AVS-O(K^T) — same stochastic process, same seeds, so
+	// the histograms agree to sampling noise.
+	if ks := stats.KS(hIn, hOutT); ks > 0.05 {
+		t.Fatalf("KS(AVS-I(K), AVS-O(K^T)) = %v", ks)
+	}
+	// And with β ≠ γ they genuinely differ from the out-degrees.
+	if ks := stats.KS(hIn, hOut); ks < 0.1 {
+		t.Fatalf("asymmetric seed: in and out distributions too close (KS %v)", ks)
+	}
+}
+
+// TestAVSISymmetricSeedMatchesAVSO: the Graph500 seed is symmetric
+// (β = γ), so both orientations give the same degree distribution.
+func TestAVSISymmetricSeedMatchesAVSO(t *testing.T) {
+	run := func(orient Orientation) stats.Hist {
+		cfg := DefaultConfig(12)
+		cfg.Orientation = orient
+		cfg.MasterSeed = 31
+		h := make(stats.Hist)
+		if _, err := Generate(cfg, CallbackSinks(func(v int64, others []int64) error {
+			if len(others) > 0 {
+				h.Add(int64(len(others)))
+			}
+			return nil
+		})); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if ks := stats.KS(run(AVSO), run(AVSI)); ks > 0.05 {
+		t.Fatalf("symmetric seed orientations differ: KS %v", ks)
+	}
+}
+
+// TestAVSIWithNoise: NSKG composes with AVS-I (transposed noise), and
+// the edge totals stay on target.
+func TestAVSIWithNoise(t *testing.T) {
+	cfg := DefaultConfig(12)
+	cfg.Orientation = AVSI
+	cfg.NoiseParam = 0.1
+	cfg.MasterSeed = 17
+	st, err := Generate(cfg, CallbackSinks(func(int64, []int64) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(cfg.NumEdges())
+	if math.Abs(float64(st.Edges)-want) > 0.05*want {
+		t.Fatalf("AVS-I noisy edges %d, want ≈ %d", st.Edges, cfg.NumEdges())
+	}
+}
+
+// TestNoiseTransposeConsistency: Lemma 7's closed form matches the
+// transposed level matrices (column sums of the originals).
+func TestNoiseTransposeConsistency(t *testing.T) {
+	const levels = 8
+	src := rng.New(3)
+	ns, err := skg.NewNoise(skg.Graph500Seed, levels, 0.15, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ns.Transpose()
+	n := int64(1) << levels
+	for v := int64(0); v < n; v += 7 {
+		var direct float64
+		for u := int64(0); u < n; u++ {
+			direct += ns.EdgeProbNoisy(u, v, levels)
+		}
+		if got := tr.RowProb(v, levels); math.Abs(got-direct) > 1e-10 {
+			t.Fatalf("v=%d: transposed RowProb %v, direct column sum %v", v, got, direct)
+		}
+	}
+}
+
+// TestOrientationValidation.
+func TestOrientationValidation(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.Orientation = Orientation(9)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected orientation error")
+	}
+	if AVSO.String() != "AVS-O" || AVSI.String() != "AVS-I" {
+		t.Fatal("orientation names wrong")
+	}
+}

@@ -1,0 +1,317 @@
+// Package dist is TrillionG's distributed runtime: a master process
+// plans the AVS-level partition (Figure 6) and scatters contiguous
+// vertex-range assignments to worker processes over TCP; each worker
+// generates its ranges with the recursive vector model and writes part
+// files to its *local* disk — exactly the deployment of the paper's
+// 10-PC cluster, with plain TCP plus encoding/gob standing in for
+// Spark.
+//
+// Because the graph is a pure function of (configuration, master seed)
+// and a plan ships only O(ranges) numbers, the protocol is tiny:
+//
+//	worker → master  Hello{Threads}
+//	master → worker  Job{Config, Format, Ranges, FirstPart}
+//	worker → master  Done{Stats} | Fail{Error}
+//	master → worker  Bye{}
+//
+// The master blocks until the expected number of workers registers,
+// plans across the total thread count, assigns each worker as many
+// consecutive ranges as it has threads, and aggregates the results.
+package dist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gformat"
+	"repro/internal/partition"
+)
+
+// Hello registers a worker and announces its thread count.
+type Hello struct {
+	Threads int
+}
+
+// Job carries a worker's assignment.
+type Job struct {
+	Config core.Config
+	Format gformat.Format
+	// Ranges are the vertex ranges this worker generates, one per
+	// thread.
+	Ranges []partition.Range
+	// FirstPart is the global part index of Ranges[0]; part files are
+	// named part-<global index>.<ext> so the union across machines is a
+	// complete, collision-free file set.
+	FirstPart int
+}
+
+// Done reports a worker's aggregated statistics.
+type Done struct {
+	Edges           int64
+	Attempts        int64
+	MaxDegree       int64
+	PeakWorkerBytes int64
+	BytesWritten    int64
+	GenDuration     time.Duration
+}
+
+// Fail reports a worker-side error.
+type Fail struct {
+	Error string
+}
+
+// Bye releases the worker.
+type Bye struct{}
+
+func init() {
+	gob.Register(Hello{})
+	gob.Register(Job{})
+	gob.Register(Done{})
+	gob.Register(Fail{})
+	gob.Register(Bye{})
+}
+
+// MasterConfig configures RunMaster.
+type MasterConfig struct {
+	// Addr is the listen address ("host:port"; port 0 picks one).
+	Addr string
+	// Workers is the number of worker processes to wait for.
+	Workers int
+	// Config is the graph to generate.
+	Config core.Config
+	// Format is the output format for every worker.
+	Format gformat.Format
+	// AcceptTimeout bounds the wait for registrations (0 = 60s).
+	AcceptTimeout time.Duration
+}
+
+// Summary aggregates a distributed run.
+type Summary struct {
+	Workers      int
+	TotalThreads int
+	Edges        int64
+	Attempts     int64
+	MaxDegree    int64
+	PeakBytes    int64
+	BytesWritten int64
+	// PlanDuration is the master-side planning time; Elapsed the wall
+	// time from first assignment to last completion.
+	PlanDuration, Elapsed time.Duration
+}
+
+// Master coordinates one distributed generation.
+type Master struct {
+	cfg MasterConfig
+	ln  net.Listener
+}
+
+// NewMaster validates the configuration and starts listening, so the
+// bound address (Addr) is known before workers are launched.
+func NewMaster(cfg MasterConfig) (*Master, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("dist: master needs ≥ 1 worker")
+	}
+	if err := cfg.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.AcceptTimeout == 0 {
+		cfg.AcceptTimeout = 60 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen: %w", err)
+	}
+	return &Master{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the bound listen address.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// Close releases the listener (Run closes it itself on completion).
+func (m *Master) Close() error { return m.ln.Close() }
+
+type peer struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	hi   Hello
+}
+
+// Run accepts registrations, scatters assignments, and aggregates
+// results.
+func (m *Master) Run() (Summary, error) {
+	defer m.ln.Close()
+	deadline := time.Now().Add(m.cfg.AcceptTimeout)
+
+	peers := make([]*peer, 0, m.cfg.Workers)
+	defer func() {
+		for _, p := range peers {
+			p.conn.Close()
+		}
+	}()
+	total := 0
+	for len(peers) < m.cfg.Workers {
+		if tl, ok := m.ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return Summary{}, fmt.Errorf("dist: accepting worker %d/%d: %w", len(peers), m.cfg.Workers, err)
+		}
+		p := &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+		if err := p.dec.Decode(&p.hi); err != nil {
+			conn.Close()
+			return Summary{}, fmt.Errorf("dist: reading hello: %w", err)
+		}
+		if p.hi.Threads < 1 {
+			conn.Close()
+			return Summary{}, fmt.Errorf("dist: worker announced %d threads", p.hi.Threads)
+		}
+		peers = append(peers, p)
+		total += p.hi.Threads
+	}
+
+	planStart := time.Now()
+	ranges, err := core.Plan(m.cfg.Config, total)
+	if err != nil {
+		return Summary{}, err
+	}
+	sum := Summary{
+		Workers:      len(peers),
+		TotalThreads: total,
+		PlanDuration: time.Since(planStart),
+	}
+
+	start := time.Now()
+	next := 0
+	for _, p := range peers {
+		job := Job{
+			Config:    m.cfg.Config,
+			Format:    m.cfg.Format,
+			Ranges:    ranges[next : next+p.hi.Threads],
+			FirstPart: next,
+		}
+		next += p.hi.Threads
+		if err := p.enc.Encode(job); err != nil {
+			return sum, fmt.Errorf("dist: sending job: %w", err)
+		}
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			var msg interface{}
+			err := p.dec.Decode(&msg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dist: reading result: %w", err)
+				}
+				return
+			}
+			switch r := msg.(type) {
+			case Done:
+				sum.Edges += r.Edges
+				sum.Attempts += r.Attempts
+				sum.BytesWritten += r.BytesWritten
+				if r.MaxDegree > sum.MaxDegree {
+					sum.MaxDegree = r.MaxDegree
+				}
+				if r.PeakWorkerBytes > sum.PeakBytes {
+					sum.PeakBytes = r.PeakWorkerBytes
+				}
+			case Fail:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dist: worker failed: %s", r.Error)
+				}
+			default:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dist: unexpected message %T", msg)
+				}
+			}
+			p.enc.Encode(Bye{})
+		}(p)
+	}
+	wg.Wait()
+	sum.Elapsed = time.Since(start)
+	return sum, firstErr
+}
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// MasterAddr is the master's "host:port".
+	MasterAddr string
+	// Threads is the number of generation goroutines (and ranges) this
+	// worker requests.
+	Threads int
+	// OutDir receives this worker's part files (local disk).
+	OutDir string
+	// DialTimeout bounds the connection attempt (0 = 10s).
+	DialTimeout time.Duration
+}
+
+// RunWorker connects to the master, generates its assignment, and
+// returns after the master acknowledges.
+func RunWorker(cfg WorkerConfig) error {
+	if cfg.Threads < 1 {
+		return fmt.Errorf("dist: worker needs ≥ 1 thread")
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if info, err := os.Stat(cfg.OutDir); err != nil || !info.IsDir() {
+		return fmt.Errorf("dist: output directory %q not usable: %v", cfg.OutDir, err)
+	}
+	conn, err := net.DialTimeout("tcp", cfg.MasterAddr, cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("dist: dialing master: %w", err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(Hello{Threads: cfg.Threads}); err != nil {
+		return fmt.Errorf("dist: hello: %w", err)
+	}
+	var job Job
+	if err := dec.Decode(&job); err != nil {
+		return fmt.Errorf("dist: receiving job: %w", err)
+	}
+
+	// Atomic sinks: a crashed worker leaves only .tmp litter, never a
+	// truncated part file, so the operator can simply rerun the worker.
+	sinks := core.AtomicFileSinks(cfg.OutDir, job.Format, job.Config.NumVertices(), job.FirstPart)
+	st, err := core.GenerateRanges(job.Config, job.Ranges, sinks)
+	var reply interface{}
+	if err != nil {
+		reply = Fail{Error: err.Error()}
+	} else {
+		reply = Done{
+			Edges:           st.Edges,
+			Attempts:        st.Attempts,
+			MaxDegree:       st.MaxDegree,
+			PeakWorkerBytes: st.PeakWorkerBytes,
+			BytesWritten:    st.BytesWritten,
+			GenDuration:     st.GenDuration,
+		}
+	}
+	if err := enc.Encode(&reply); err != nil {
+		return fmt.Errorf("dist: sending result: %w", err)
+	}
+	var bye Bye
+	if err := dec.Decode(&bye); err != nil {
+		return fmt.Errorf("dist: waiting for bye: %w", err)
+	}
+	if f, ok := reply.(Fail); ok {
+		return fmt.Errorf("dist: generation failed: %s", f.Error)
+	}
+	return nil
+}

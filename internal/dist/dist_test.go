@@ -1,0 +1,321 @@
+package dist
+
+import (
+	"encoding/gob"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gformat"
+)
+
+func testConfig(scale int) core.Config {
+	cfg := core.DefaultConfig(scale)
+	cfg.MasterSeed = 321
+	return cfg
+}
+
+// runCluster starts a master and `workers` in-process workers (each its
+// own goroutine, as separate OS processes would be) and returns the
+// summary plus each worker's output directory.
+func runCluster(t *testing.T, cfg core.Config, format gformat.Format, workers, threads int) (Summary, []string) {
+	t.Helper()
+	m, err := NewMaster(MasterConfig{
+		Addr:          "127.0.0.1:0",
+		Workers:       workers,
+		Config:        cfg,
+		Format:        format,
+		AcceptTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Addr()
+
+	dirs := make([]string, workers)
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = RunWorker(WorkerConfig{
+				MasterAddr: addr,
+				Threads:    threads,
+				OutDir:     dirs[i],
+			})
+		}(i)
+	}
+	sum, err := m.Run()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", i, werr)
+		}
+	}
+	return sum, dirs
+}
+
+// TestDistributedMatchesLocal: the union of the part files produced by
+// a 3-machine × 2-thread cluster is the identical graph a single
+// process generates.
+func TestDistributedMatchesLocal(t *testing.T) {
+	cfg := testConfig(10)
+
+	sum, dirs := runCluster(t, cfg, gformat.ADJ6, 3, 2)
+	if sum.Workers != 3 || sum.TotalThreads != 6 {
+		t.Fatalf("summary %+v", sum)
+	}
+
+	distEdges := make(map[int64][]int64)
+	partCount := 0
+	for _, dir := range dirs {
+		files, err := filepath.Glob(filepath.Join(dir, "part-*.adj6"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		partCount += len(files)
+		for _, name := range files {
+			f, err := os.Open(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := gformat.NewADJ6Reader(f)
+			for {
+				src, dsts, err := r.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, dup := distEdges[src]; dup {
+					t.Fatalf("scope %d produced by two workers", src)
+				}
+				distEdges[src] = dsts
+			}
+			f.Close()
+		}
+	}
+	if partCount != 6 {
+		t.Fatalf("part files %d, want 6", partCount)
+	}
+
+	localCfg := cfg
+	localCfg.Workers = 1
+	localEdges := make(map[int64][]int64)
+	localStats, err := core.Generate(localCfg, core.CallbackSinks(func(src int64, dsts []int64) error {
+		if len(dsts) > 0 {
+			localEdges[src] = append([]int64(nil), dsts...)
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Edges != localStats.Edges {
+		t.Fatalf("distributed %d edges, local %d", sum.Edges, localStats.Edges)
+	}
+	if len(distEdges) != len(localEdges) {
+		t.Fatalf("distributed %d scopes, local %d", len(distEdges), len(localEdges))
+	}
+	for src, dsts := range localEdges {
+		if !reflect.DeepEqual(distEdges[src], dsts) {
+			t.Fatalf("scope %d differs between distributed and local", src)
+		}
+	}
+}
+
+// TestHeterogeneousWorkers: workers with different thread counts get
+// proportionally sized assignments and the run still completes.
+func TestHeterogeneousWorkers(t *testing.T) {
+	cfg := testConfig(9)
+	m, err := NewMaster(MasterConfig{
+		Addr: "127.0.0.1:0", Workers: 2, Config: cfg, Format: gformat.TSV,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	var wg sync.WaitGroup
+	var err1, err2 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		err1 = RunWorker(WorkerConfig{MasterAddr: m.Addr(), Threads: 1, OutDir: dir1})
+	}()
+	go func() {
+		defer wg.Done()
+		err2 = RunWorker(WorkerConfig{MasterAddr: m.Addr(), Threads: 3, OutDir: dir2})
+	}()
+	sum, err := m.Run()
+	wg.Wait()
+	if err != nil || err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v %v", err, err1, err2)
+	}
+	if sum.TotalThreads != 4 {
+		t.Fatalf("total threads %d", sum.TotalThreads)
+	}
+	// Both workers produced at least one part file (registration order
+	// decides which global indices land where).
+	g1, _ := filepath.Glob(filepath.Join(dir1, "part-*.tsv"))
+	g2, _ := filepath.Glob(filepath.Join(dir2, "part-*.tsv"))
+	if len(g1)+len(g2) != 4 {
+		t.Fatalf("part files %d + %d, want 4", len(g1), len(g2))
+	}
+}
+
+// TestMasterValidation.
+func TestMasterValidation(t *testing.T) {
+	if _, err := NewMaster(MasterConfig{Addr: "127.0.0.1:0", Workers: 0, Config: testConfig(8)}); err == nil {
+		t.Fatal("expected worker-count error")
+	}
+	bad := testConfig(8)
+	bad.Scale = 0
+	if _, err := NewMaster(MasterConfig{Addr: "127.0.0.1:0", Workers: 1, Config: bad}); err == nil {
+		t.Fatal("expected config error")
+	}
+}
+
+// TestWorkerValidation.
+func TestWorkerValidation(t *testing.T) {
+	if err := RunWorker(WorkerConfig{MasterAddr: "127.0.0.1:1", Threads: 0, OutDir: t.TempDir()}); err == nil {
+		t.Fatal("expected thread-count error")
+	}
+	if err := RunWorker(WorkerConfig{MasterAddr: "127.0.0.1:1", Threads: 1, OutDir: "/nonexistent"}); err == nil {
+		t.Fatal("expected outdir error")
+	}
+	// Nothing listening: dial must fail quickly.
+	err := RunWorker(WorkerConfig{
+		MasterAddr: "127.0.0.1:1", Threads: 1, OutDir: t.TempDir(),
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+// TestMasterAcceptTimeout: a master waiting for workers that never come
+// returns instead of hanging.
+func TestMasterAcceptTimeout(t *testing.T) {
+	m, err := NewMaster(MasterConfig{
+		Addr: "127.0.0.1:0", Workers: 1, Config: testConfig(8),
+		Format: gformat.ADJ6, AcceptTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout not honoured")
+	}
+}
+
+// TestDistributedCSR6: the binary CSR format works across the wire too.
+func TestDistributedCSR6(t *testing.T) {
+	cfg := testConfig(9)
+	sum, dirs := runCluster(t, cfg, gformat.CSR6, 2, 2)
+	var edges int64
+	for _, dir := range dirs {
+		files, _ := filepath.Glob(filepath.Join(dir, "part-*.csr6"))
+		for _, name := range files {
+			f, err := os.Open(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := gformat.ReadCSR6(f)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			edges += g.NumEdges()
+		}
+	}
+	if edges != sum.Edges {
+		t.Fatalf("CSR parts hold %d edges, summary says %d", edges, sum.Edges)
+	}
+}
+
+// TestWorkerFailurePropagatesToMaster: a worker that reports Fail makes
+// the master's Run return an error carrying the message.
+func TestWorkerFailurePropagatesToMaster(t *testing.T) {
+	m, err := NewMaster(MasterConfig{
+		Addr: "127.0.0.1:0", Workers: 1, Config: testConfig(8), Format: gformat.ADJ6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// A hand-rolled worker speaking the protocol but failing the job.
+		conn, err := net.Dial("tcp", m.Addr())
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+		if err := enc.Encode(Hello{Threads: 1}); err != nil {
+			done <- err
+			return
+		}
+		var job Job
+		if err := dec.Decode(&job); err != nil {
+			done <- err
+			return
+		}
+		var reply interface{} = Fail{Error: "disk on fire"}
+		if err := enc.Encode(&reply); err != nil {
+			done <- err
+			return
+		}
+		var bye Bye
+		done <- dec.Decode(&bye)
+	}()
+	_, err = m.Run()
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("master err = %v, want worker failure", err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("fake worker: %v", werr)
+	}
+}
+
+// TestWorkerDisconnectMidJob: a worker that vanishes after registering
+// surfaces as a read error, not a hang.
+func TestWorkerDisconnectMidJob(t *testing.T) {
+	m, err := NewMaster(MasterConfig{
+		Addr: "127.0.0.1:0", Workers: 1, Config: testConfig(8), Format: gformat.ADJ6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := net.Dial("tcp", m.Addr())
+		if err != nil {
+			return
+		}
+		enc := gob.NewEncoder(conn)
+		enc.Encode(Hello{Threads: 1})
+		conn.Close() // vanish before sending a result
+	}()
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected error for vanished worker")
+	}
+}

@@ -1,0 +1,394 @@
+// Package erv implements the Extended Recursive Vector model of
+// Section 6.1: graph generation over a rectangular block of the
+// probability matrix with *independent* control of the out-degree
+// distribution (seed parameters Kout drive the scope sizes of
+// Theorem 1) and the in-degree distribution (seed parameters Kin drive
+// the destination draw of Theorem 2), plus different source and
+// destination vertex ranges.
+//
+// Degree-distribution control follows Table 3 / Lemma 6:
+//
+//   - Zipfian with chosen slope s: row masses in ratio 2^s
+//     (out: slope = log2(γ+δ) − log2(α+β); in: column analogue);
+//   - Gaussian with mean |E|/|V|: the uniform seed;
+//   - Uniform over [min, max]: drawn directly (the case the paper
+//     notes is trivial and omits).
+package erv
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/alias"
+	"repro/internal/recvec"
+	"repro/internal/rng"
+	"repro/internal/skg"
+)
+
+// DistKind enumerates the gMark degree-distribution families.
+type DistKind int
+
+const (
+	// Zipfian is a power-law distribution with a configurable slope.
+	Zipfian DistKind = iota
+	// Gaussian is the normal distribution arising from a uniform seed.
+	Gaussian
+	// Uniform draws degrees uniformly from [Min, Max].
+	Uniform
+	// Empirical draws from a user-supplied frequency table (a "data
+	// dictionary" — the Section 8 future-work extension). As an OutDist,
+	// Weights[d] is the relative frequency of out-degree d. As an
+	// InDist, Weights is a popularity histogram stretched over the
+	// destination range: a bucket is drawn ∝ its weight, then a vertex
+	// uniformly within the bucket's span.
+	Empirical
+)
+
+// String names the kind.
+func (k DistKind) String() string {
+	switch k {
+	case Zipfian:
+		return "zipfian"
+	case Gaussian:
+		return "gaussian"
+	case Uniform:
+		return "uniform"
+	case Empirical:
+		return "empirical"
+	default:
+		return fmt.Sprintf("DistKind(%d)", int(k))
+	}
+}
+
+// Dist specifies one degree distribution. As an OutDist, Uniform means
+// "degree drawn uniformly from [Min, Max]"; as an InDist it means
+// "destinations drawn uniformly over the range" (Min/Max are ignored),
+// which yields Gaussian in-degrees — exact per-vertex in-degree
+// constraints are not expressible under independent destination draws.
+type Dist struct {
+	Kind DistKind
+	// Slope is the Zipfian log-log slope (negative), e.g. −1.662.
+	Slope float64
+	// Min and Max bound the Uniform distribution (inclusive).
+	Min, Max int64
+	// Weights is the Empirical frequency table (unnormalized, ≥ 0).
+	Weights []float64
+}
+
+// Validate checks the specification.
+func (d Dist) Validate() error {
+	switch d.Kind {
+	case Zipfian:
+		if d.Slope >= 0 {
+			return fmt.Errorf("erv: zipfian slope %v must be negative", d.Slope)
+		}
+	case Gaussian:
+	case Uniform:
+		if d.Min < 0 || d.Max < d.Min {
+			return fmt.Errorf("erv: uniform bounds [%d, %d] invalid", d.Min, d.Max)
+		}
+	case Empirical:
+		if len(d.Weights) == 0 {
+			return fmt.Errorf("erv: empirical distribution needs weights")
+		}
+		var total float64
+		for i, w := range d.Weights {
+			if w < 0 || w != w {
+				return fmt.Errorf("erv: empirical weight[%d] = %v invalid", i, w)
+			}
+			total += w
+		}
+		if total <= 0 {
+			return fmt.Errorf("erv: empirical weights all zero")
+		}
+	default:
+		return fmt.Errorf("erv: unknown distribution kind %d", int(d.Kind))
+	}
+	return nil
+}
+
+// SeedForOutSlope returns a 2x2 seed whose out-degree distribution has
+// the requested Zipfian slope (Lemma 6): row masses a = α+β and
+// 1−a = γ+δ with (1−a)/a = 2^slope. The column split is even, which
+// leaves the in-degree side neutral.
+func SeedForOutSlope(slope float64) skg.Seed {
+	a := 1 / (1 + math.Exp2(slope))
+	return skg.Seed{A: a / 2, B: a / 2, C: (1 - a) / 2, D: (1 - a) / 2}
+}
+
+// SeedForInSlope is the column analogue: α+γ and β+δ in ratio 2^slope.
+func SeedForInSlope(slope float64) skg.Seed {
+	a := 1 / (1 + math.Exp2(slope))
+	return skg.Seed{A: a / 2, B: (1 - a) / 2, C: a / 2, D: (1 - a) / 2}
+}
+
+// outSeed maps a Dist to the Kout seed for scope sizing. Uniform
+// returns ok=false: it bypasses the seed machinery.
+func (d Dist) outSeed() (skg.Seed, bool) {
+	switch d.Kind {
+	case Zipfian:
+		return SeedForOutSlope(d.Slope), true
+	case Gaussian:
+		return skg.UniformSeed, true
+	default:
+		return skg.Seed{}, false
+	}
+}
+
+// inSeed maps a Dist to the Kin seed for destination drawing.
+func (d Dist) inSeed() (skg.Seed, bool) {
+	switch d.Kind {
+	case Zipfian:
+		return SeedForInSlope(d.Slope), true
+	case Gaussian:
+		return skg.UniformSeed, true
+	default:
+		return skg.Seed{}, false
+	}
+}
+
+// Config describes one ERV edge collection (one colored rectangle of
+// Figure 7b).
+type Config struct {
+	// NumSrc and NumDst are the sizes of the source and destination
+	// vertex ranges (need not be powers of two or equal).
+	NumSrc, NumDst int64
+	// NumEdges is the collection's edge budget.
+	NumEdges int64
+	// OutDist controls the out-degree distribution.
+	OutDist Dist
+	// InDist controls the in-degree distribution.
+	InDist Dist
+	// AllowDuplicates keeps repeated (src, dst) pairs (gMark's behaviour
+	// the paper criticizes); TrillionG's default is dedup within scope.
+	AllowDuplicates bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumSrc < 1 || c.NumDst < 1 {
+		return fmt.Errorf("erv: vertex ranges %d×%d invalid", c.NumSrc, c.NumDst)
+	}
+	if c.NumSrc > 1<<47 || c.NumDst > 1<<47 {
+		return fmt.Errorf("erv: vertex range exceeds supported size")
+	}
+	if c.NumEdges < 1 {
+		return fmt.Errorf("erv: NumEdges %d < 1", c.NumEdges)
+	}
+	if err := c.OutDist.Validate(); err != nil {
+		return err
+	}
+	return c.InDist.Validate()
+}
+
+func levelsFor(n int64) int {
+	l := 0
+	for int64(1)<<uint(l) < n {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return l
+}
+
+// prefixRowMass returns Σ_{u<n} w(u) where w(u) = a^{zeros(u)}·b^{ones(u)}
+// over `levels` bits and a+b = 1 — the normalization constant for
+// truncating a per-bit product measure to [0, n). O(levels).
+func prefixRowMass(a, b float64, n int64, levels int) float64 {
+	if n >= int64(1)<<uint(levels) {
+		return 1
+	}
+	var sum float64
+	prefix := 1.0
+	for i := levels - 1; i >= 0; i-- {
+		bit := (n >> uint(i)) & 1
+		if bit == 1 {
+			// All values with this bit 0 and the same higher bits are < n.
+			sum += prefix * a
+			prefix *= b
+		} else {
+			prefix *= a
+		}
+	}
+	return sum
+}
+
+// Generator produces one ERV edge collection.
+type Generator struct {
+	cfg       Config
+	srcLevels int
+	dstLevels int
+	// outA is the Kout row mass of a 0 bit (α+β); outB of a 1 bit.
+	outA, outB float64
+	outNorm    float64 // Σ row masses over [0, NumSrc)
+	// dstVec is the destination CDF vector (shared by every scope; the
+	// column measure does not depend on the source).
+	dstVec *recvec.Vector
+	// uniformOut/uniformIn flag the trivial direct-sampling paths.
+	uniformOut, uniformIn bool
+	// outAlias samples empirical out-degrees (index = degree); inAlias
+	// samples empirical destination buckets spread over [0, NumDst).
+	outAlias, inAlias *alias.Table
+}
+
+// New validates cfg and precomputes the shared vectors.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg:       cfg,
+		srcLevels: levelsFor(cfg.NumSrc),
+		dstLevels: levelsFor(cfg.NumDst),
+	}
+	switch {
+	case cfg.OutDist.Kind == Empirical:
+		t, err := alias.New(cfg.OutDist.Weights)
+		if err != nil {
+			return nil, err
+		}
+		g.outAlias = t
+	default:
+		if kout, ok := cfg.OutDist.outSeed(); ok {
+			g.outA = kout.A + kout.B
+			g.outB = kout.C + kout.D
+			g.outNorm = prefixRowMass(g.outA, g.outB, cfg.NumSrc, g.srcLevels)
+		} else {
+			g.uniformOut = true
+		}
+	}
+	switch {
+	case cfg.InDist.Kind == Empirical:
+		t, err := alias.New(cfg.InDist.Weights)
+		if err != nil {
+			return nil, err
+		}
+		g.inAlias = t
+	default:
+		if kin, ok := cfg.InDist.inSeed(); ok {
+			// Destination measure: each bit of v weighs (α+γ) when 0 and
+			// (β+δ) when 1. Encode it as the row-0 recursive vector of a
+			// synthetic seed whose both rows carry the column masses.
+			a, b := kin.A+kin.C, kin.B+kin.D
+			dstSeed := skg.Seed{A: a / 2, B: b / 2, C: a / 2, D: b / 2}
+			g.dstVec = recvec.New(dstSeed, 0, g.dstLevels)
+		} else {
+			g.uniformIn = true
+		}
+	}
+	return g, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// rowMass returns the unnormalized Kout measure of source u.
+func (g *Generator) rowMass(u int64) float64 {
+	ones := 0
+	for x := u; x != 0; x &= x - 1 {
+		ones++
+	}
+	return math.Pow(g.outA, float64(g.srcLevels-ones)) * math.Pow(g.outB, float64(ones))
+}
+
+// ScopeSize draws the out-degree of source u per Theorem 1 under Kout,
+// normalized to the truncated source range.
+func (g *Generator) ScopeSize(u int64, src *rng.Source) int64 {
+	if u < 0 || u >= g.cfg.NumSrc {
+		return 0
+	}
+	if g.outAlias != nil {
+		d := int64(g.outAlias.Sample(src))
+		if !g.cfg.AllowDuplicates && d > g.cfg.NumDst {
+			d = g.cfg.NumDst
+		}
+		return d
+	}
+	if g.uniformOut {
+		d := g.cfg.OutDist.Min + src.Int63n(g.cfg.OutDist.Max-g.cfg.OutDist.Min+1)
+		return d
+	}
+	p := g.rowMass(u) / g.outNorm
+	d := src.Binomial(g.cfg.NumEdges, p)
+	if !g.cfg.AllowDuplicates && d > g.cfg.NumDst {
+		d = g.cfg.NumDst
+	}
+	return d
+}
+
+// drawDst draws one destination in [0, NumDst) from the Kin column
+// measure (rejection over the power-of-two closure, which conditions
+// the measure on the valid range).
+func (g *Generator) drawDst(src *rng.Source) int64 {
+	if g.inAlias != nil {
+		// Bucket b covers [b·span, min((b+1)·span, NumDst)).
+		buckets := int64(g.inAlias.Len())
+		b := int64(g.inAlias.Sample(src))
+		lo := b * g.cfg.NumDst / buckets
+		hi := (b + 1) * g.cfg.NumDst / buckets
+		if hi <= lo {
+			hi = lo + 1
+			if hi > g.cfg.NumDst {
+				return g.cfg.NumDst - 1
+			}
+		}
+		return lo + src.Int63n(hi-lo)
+	}
+	if g.uniformIn {
+		return src.Int63n(g.cfg.NumDst)
+	}
+	for {
+		v := g.dstVec.Determine(src.UniformTo(g.dstVec.RowProb()))
+		if v < g.cfg.NumDst {
+			return v
+		}
+	}
+}
+
+// Scope generates source u's destinations (deduplicated unless
+// AllowDuplicates). Destinations use range-local IDs [0, NumDst).
+func (g *Generator) Scope(u int64, src *rng.Source, buf []int64) []int64 {
+	size := g.ScopeSize(u, src)
+	out := buf[:0]
+	if size <= 0 {
+		return out
+	}
+	if g.cfg.AllowDuplicates {
+		for int64(len(out)) < size {
+			out = append(out, g.drawDst(src))
+		}
+		return out
+	}
+	seen := make(map[int64]struct{}, size)
+	attempts := int64(0)
+	for int64(len(out)) < size && attempts < 64*size+1024 {
+		attempts++
+		v := g.drawDst(src)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Generate runs all scopes of the collection, emitting range-local
+// (src, dsts) pairs, and returns the number of edges generated.
+func (g *Generator) Generate(masterSeed uint64, emit func(src int64, dsts []int64) error) (int64, error) {
+	var total int64
+	var buf []int64
+	for u := int64(0); u < g.cfg.NumSrc; u++ {
+		src := rng.NewScoped(masterSeed, uint64(u))
+		dsts := g.Scope(u, src, buf)
+		buf = dsts
+		total += int64(len(dsts))
+		if emit != nil && len(dsts) > 0 {
+			if err := emit(u, dsts); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,446 @@
+package erv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/skg"
+	"repro/internal/stats"
+)
+
+func TestDistValidate(t *testing.T) {
+	if err := (Dist{Kind: Zipfian, Slope: -1.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Dist{Kind: Zipfian, Slope: 1}).Validate(); err == nil {
+		t.Fatal("expected error for positive slope")
+	}
+	if err := (Dist{Kind: Gaussian}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Dist{Kind: Uniform, Min: 1, Max: 5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Dist{Kind: Uniform, Min: 5, Max: 1}).Validate(); err == nil {
+		t.Fatal("expected error for inverted bounds")
+	}
+	if err := (Dist{Kind: DistKind(9)}).Validate(); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestDistKindString(t *testing.T) {
+	if Zipfian.String() != "zipfian" || Gaussian.String() != "gaussian" || Uniform.String() != "uniform" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestSeedForSlopes(t *testing.T) {
+	for _, s := range []float64{-0.5, -1.662, -3} {
+		out := SeedForOutSlope(s)
+		if err := out.Validate(); err != nil {
+			t.Fatalf("slope %v: %v", s, err)
+		}
+		if math.Abs(out.OutZipfSlope()-s) > 1e-12 {
+			t.Fatalf("out slope %v, want %v", out.OutZipfSlope(), s)
+		}
+		in := SeedForInSlope(s)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("slope %v: %v", s, err)
+		}
+		if math.Abs(in.InZipfSlope()-s) > 1e-12 {
+			t.Fatalf("in slope %v, want %v", in.InZipfSlope(), s)
+		}
+	}
+}
+
+func TestPrefixRowMassAgainstBruteForce(t *testing.T) {
+	const levels = 10
+	a, b := 0.7, 0.3
+	w := func(u int64) float64 {
+		ones := 0
+		for x := u; x != 0; x &= x - 1 {
+			ones++
+		}
+		return math.Pow(a, float64(levels-ones)) * math.Pow(b, float64(ones))
+	}
+	var sum float64
+	for n := int64(0); n <= 1<<levels; n++ {
+		got := prefixRowMass(a, b, n, levels)
+		if math.Abs(got-sum) > 1e-12 {
+			t.Fatalf("prefixRowMass(%d) = %v, brute force %v", n, got, sum)
+		}
+		if n < 1<<levels {
+			sum += w(n)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := Config{
+		NumSrc: 100, NumDst: 50, NumEdges: 1000,
+		OutDist: Dist{Kind: Zipfian, Slope: -1.5},
+		InDist:  Dist{Kind: Gaussian},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ok
+	bad.NumSrc = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected src range error")
+	}
+	bad = ok
+	bad.NumEdges = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected edges error")
+	}
+}
+
+// TestScopeSizesSumToBudget: Theorem 1 over the truncated range — total
+// edges ≈ NumEdges.
+func TestScopeSizesSumToBudget(t *testing.T) {
+	g, err := New(Config{
+		NumSrc: 3000, NumDst: 5000, NumEdges: 60000,
+		OutDist: Dist{Kind: Zipfian, Slope: -1.662},
+		InDist:  Dist{Kind: Gaussian},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := g.Generate(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(total)-60000) > 0.05*60000 {
+		t.Fatalf("total %d, want ≈ 60000", total)
+	}
+}
+
+// TestOutZipfianInGaussian reproduces the Figure 10 configuration:
+// researcher→paper with Zipfian out-degrees and Gaussian in-degrees.
+func TestOutZipfianInGaussian(t *testing.T) {
+	const numSrc, numDst, numEdges = 4096, 3000, 1 << 17
+	g, err := New(Config{
+		NumSrc: numSrc, NumDst: numDst, NumEdges: numEdges,
+		OutDist: Dist{Kind: Zipfian, Slope: -1.662},
+		InDist:  Dist{Kind: Gaussian},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := stats.NewDegreeCounter()
+	if _, err := g.Generate(3, func(src int64, dsts []int64) error {
+		counter.AddScope(src, dsts)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Out side: heavy-tailed. Popcount-class means follow the slope.
+	outBy := counter.OutByVertex()
+	classSum := make(map[int]float64)
+	classN := make(map[int]float64)
+	for u, d := range outBy {
+		ones := 0
+		for x := u; x != 0; x &= x - 1 {
+			ones++
+		}
+		classSum[ones] += float64(d)
+		classN[ones]++
+	}
+	var xs, ys []float64
+	for k, n := range classN {
+		if n < 16 {
+			continue
+		}
+		mean := classSum[k] / n
+		if mean < 2 {
+			continue
+		}
+		xs = append(xs, float64(k))
+		ys = append(ys, math.Log2(mean))
+	}
+	slope, _, r2 := stats.LinearFit(xs, ys)
+	if math.Abs(slope-(-1.662)) > 0.12 || r2 < 0.98 {
+		t.Fatalf("out class slope %v (r2 %v), want ≈ −1.662", slope, r2)
+	}
+	// In side: Gaussian around |E|/|Vdst|.
+	inDeg := counter.InDegrees()
+	mean, _ := stats.MeanStd(inDeg)
+	wantMean := float64(numEdges) / numDst
+	if math.Abs(mean-wantMean) > 0.05*wantMean {
+		t.Fatalf("in mean %v, want ≈ %v", mean, wantMean)
+	}
+	if ks := stats.KSAgainstNormal(inDeg); ks > 0.05 {
+		t.Fatalf("in-degree KS vs normal %v too high", ks)
+	}
+	if sk := stats.Skewness(inDeg); math.Abs(sk) > 0.3 {
+		t.Fatalf("in-degree skewness %v; expected symmetric", sk)
+	}
+}
+
+// TestInZipfian: the destination side can be made heavy-tailed too.
+func TestInZipfian(t *testing.T) {
+	g, err := New(Config{
+		NumSrc: 2048, NumDst: 2048, NumEdges: 1 << 15,
+		OutDist: Dist{Kind: Gaussian},
+		InDist:  Dist{Kind: Zipfian, Slope: -1.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := stats.NewDegreeCounter()
+	if _, err := g.Generate(9, func(src int64, dsts []int64) error {
+		counter.AddScope(src, dsts)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sk := stats.Skewness(counter.InDegrees()); sk < 1 {
+		t.Fatalf("in-degree skewness %v; expected heavy tail", sk)
+	}
+	// The out side stays symmetric-ish.
+	if sk := stats.Skewness(counter.OutDegrees()); math.Abs(sk) > 0.5 {
+		t.Fatalf("out-degree skewness %v; expected Gaussian", sk)
+	}
+}
+
+// TestDestinationsInRange: rectangular ranges confine destinations.
+func TestDestinationsInRange(t *testing.T) {
+	g, err := New(Config{
+		NumSrc: 100, NumDst: 37, NumEdges: 2000,
+		OutDist: Dist{Kind: Zipfian, Slope: -1},
+		InDist:  Dist{Kind: Zipfian, Slope: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Generate(5, func(src int64, dsts []int64) error {
+		if src < 0 || src >= 100 {
+			t.Fatalf("src %d out of range", src)
+		}
+		for _, d := range dsts {
+			if d < 0 || d >= 37 {
+				t.Fatalf("dst %d out of range", d)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDedupVsDuplicates: by default scopes are duplicate-free; with
+// AllowDuplicates the same destination can repeat (gMark's flaw, which
+// Section 6.2 contrasts against).
+func TestDedupVsDuplicates(t *testing.T) {
+	base := Config{
+		NumSrc: 4, NumDst: 8, NumEdges: 48, // dense: duplicates inevitable
+		OutDist: Dist{Kind: Gaussian},
+		InDist:  Dist{Kind: Zipfian, Slope: -2},
+	}
+	g, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Generate(1, func(src int64, dsts []int64) error {
+		seen := make(map[int64]bool)
+		for _, d := range dsts {
+			if seen[d] {
+				t.Fatalf("duplicate destination %d with dedup on", d)
+			}
+			seen[d] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dup := base
+	dup.AllowDuplicates = true
+	gd, err := New(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDup := false
+	for seed := uint64(1); seed < 20 && !foundDup; seed++ {
+		if _, err := gd.Generate(seed, func(src int64, dsts []int64) error {
+			seen := make(map[int64]bool)
+			for _, d := range dsts {
+				if seen[d] {
+					foundDup = true
+				}
+				seen[d] = true
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !foundDup {
+		t.Fatal("AllowDuplicates never produced a duplicate in a dense block")
+	}
+}
+
+// TestUniformOutDegrees: degrees land in [Min, Max].
+func TestUniformOutDegrees(t *testing.T) {
+	g, err := New(Config{
+		NumSrc: 500, NumDst: 1000, NumEdges: 1, // budget unused by Uniform
+		OutDist: Dist{Kind: Uniform, Min: 2, Max: 5},
+		InDist:  Dist{Kind: Gaussian},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Generate(11, func(src int64, dsts []int64) error {
+		if len(dsts) < 2 || len(dsts) > 5 {
+			t.Fatalf("uniform degree %d outside [2,5]", len(dsts))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGraph500SlopeConstant: the paper's Section 6.1 example — the
+// Graph500 seed corresponds to slope −1.662.
+func TestGraph500SlopeConstant(t *testing.T) {
+	if math.Abs(skg.Graph500Seed.OutZipfSlope()-(-1.662)) > 1e-2 {
+		t.Fatalf("Graph500 slope %v", skg.Graph500Seed.OutZipfSlope())
+	}
+}
+
+// TestDeterministic: same seed → same totals.
+func TestDeterministic(t *testing.T) {
+	cfg := Config{
+		NumSrc: 1000, NumDst: 1000, NumEdges: 10000,
+		OutDist: Dist{Kind: Zipfian, Slope: -1.5},
+		InDist:  Dist{Kind: Zipfian, Slope: -1.5},
+	}
+	g1, _ := New(cfg)
+	g2, _ := New(cfg)
+	t1, err := g1.Generate(42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := g2.Generate(42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatalf("totals differ: %d vs %d", t1, t2)
+	}
+}
+
+func TestScopeSizeOutOfRange(t *testing.T) {
+	g, err := New(Config{
+		NumSrc: 10, NumDst: 10, NumEdges: 100,
+		OutDist: Dist{Kind: Zipfian, Slope: -1},
+		InDist:  Dist{Kind: Gaussian},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ScopeSize(-1, rng.New(1)); got != 0 {
+		t.Fatalf("ScopeSize(-1) = %d", got)
+	}
+	if got := g.ScopeSize(10, rng.New(1)); got != 0 {
+		t.Fatalf("ScopeSize(10) = %d", got)
+	}
+}
+
+// TestEmpiricalOutDegrees: the data-dictionary extension — out-degrees
+// follow the supplied frequency table exactly (chi-square).
+func TestEmpiricalOutDegrees(t *testing.T) {
+	// Degrees 0..5 with lumpy frequencies; index = degree.
+	weights := []float64{0, 10, 0, 5, 1, 4}
+	g, err := New(Config{
+		NumSrc: 40000, NumDst: 1 << 16, NumEdges: 1,
+		OutDist: Dist{Kind: Empirical, Weights: weights},
+		InDist:  Dist{Kind: Gaussian},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, len(weights))
+	if _, err := g.Generate(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(9)
+	for u := int64(0); u < g.cfg.NumSrc; u++ {
+		counts[g.ScopeSize(u, src)]++
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	expect := make([]float64, len(weights))
+	for d, w := range weights {
+		expect[d] = float64(g.cfg.NumSrc) * w / total
+	}
+	if counts[0] > 0 || counts[2] > 0 {
+		t.Fatalf("zero-frequency degrees sampled: %v", counts)
+	}
+	if stat := stats.ChiSquare(counts, expect, 5); stat > 25 { // 3 dof
+		t.Fatalf("chi-square %v, counts %v", stat, counts)
+	}
+}
+
+// TestEmpiricalInBuckets: destination mass per bucket follows the
+// popularity histogram.
+func TestEmpiricalInBuckets(t *testing.T) {
+	weights := []float64{1, 0, 3, 6} // four buckets over the range
+	g, err := New(Config{
+		NumSrc: 2000, NumDst: 4000, NumEdges: 40000,
+		OutDist: Dist{Kind: Gaussian},
+		InDist:  Dist{Kind: Empirical, Weights: weights},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucketCounts := make([]float64, len(weights))
+	var total float64
+	if _, err := g.Generate(7, func(src int64, dsts []int64) error {
+		for _, d := range dsts {
+			bucketCounts[d*int64(len(weights))/4000]++
+			total++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bucketCounts[1] > 0 {
+		t.Fatalf("zero-weight bucket received %v edges", bucketCounts[1])
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	for b, w := range weights {
+		want := total * w / wsum
+		if w == 0 {
+			continue
+		}
+		if math.Abs(bucketCounts[b]-want) > 0.05*want+30 {
+			t.Fatalf("bucket %d got %v edges, want ≈ %v", b, bucketCounts[b], want)
+		}
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	if err := (Dist{Kind: Empirical}).Validate(); err == nil {
+		t.Fatal("expected error for missing weights")
+	}
+	if err := (Dist{Kind: Empirical, Weights: []float64{0, 0}}).Validate(); err == nil {
+		t.Fatal("expected error for zero weights")
+	}
+	if err := (Dist{Kind: Empirical, Weights: []float64{1, -2}}).Validate(); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+	if err := (Dist{Kind: Empirical, Weights: []float64{1, 2}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Empirical.String() != "empirical" {
+		t.Fatal("kind name")
+	}
+}

@@ -1,0 +1,101 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 7 and Appendix D). Each experiment is a function
+// returning a structured result plus a Report for printing; the
+// cmd/experiments CLI and the repository's root benchmarks are thin
+// wrappers around this package.
+//
+// Scales default to laptop-sized (the DESIGN.md substitution): the
+// claims under test are *shapes* — who wins, by what growth factor,
+// where the crossovers sit — which are scale-invariant for these
+// algorithms.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report is a printable experiment result.
+type Report struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Print renders the report as an aligned text table.
+func (r Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(r.Columns)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtDur renders a duration compactly for tables.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// fmtBytes renders a byte count compactly.
+func fmtBytes(b int64) string {
+	switch {
+	case b < 0:
+		return "O.O.M."
+	case b < 1<<10:
+		return fmt.Sprintf("%dB", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	}
+}
+
+// fmtF renders a float with 3 decimals.
+func fmtF(v float64) string { return fmt.Sprintf("%.3f", v) }

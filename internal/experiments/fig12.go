@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gformat"
+)
+
+// Fig12Row is one scalability measurement.
+type Fig12Row struct {
+	Scale   int
+	Elapsed time.Duration
+	PeakMem int64
+	Edges   int64
+	MaxDeg  int64
+	TimeX   float64 // time ratio to previous scale
+	MemX    float64 // memory ratio to previous scale
+}
+
+// Fig12Result is TrillionG's scalability sweep (Figure 12): elapsed
+// time should double per scale (|E| doubles) while peak memory grows
+// sublinearly (O(d_max)).
+type Fig12Result struct {
+	Rows    []Fig12Row
+	Workers int
+}
+
+// Fig12 runs the sweep with the given worker count (0 = GOMAXPROCS).
+func Fig12(scales []int, workers int) (*Fig12Result, error) {
+	if len(scales) == 0 {
+		scales = []int{15, 16, 17, 18, 19}
+	}
+	res := &Fig12Result{Workers: workers}
+	for i, sc := range scales {
+		cfg := core.DefaultConfig(sc)
+		cfg.MasterSeed = 501
+		cfg.Workers = workers
+		st, err := core.Generate(cfg, core.DiscardSinks(gformat.ADJ6))
+		if err != nil {
+			return nil, fmt.Errorf("fig12 scale %d: %w", sc, err)
+		}
+		row := Fig12Row{
+			Scale: sc, Elapsed: st.Elapsed, PeakMem: st.PeakWorkerBytes,
+			Edges: st.Edges, MaxDeg: st.MaxDegree,
+		}
+		if i > 0 {
+			prev := res.Rows[i-1]
+			if prev.Elapsed > 0 {
+				row.TimeX = float64(st.Elapsed) / float64(prev.Elapsed)
+			}
+			if prev.PeakMem > 0 {
+				row.MemX = float64(st.PeakWorkerBytes) / float64(prev.PeakMem)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Report renders the sweep.
+func (r *Fig12Result) Report() Report {
+	rep := Report{
+		Title:   "Figure 12 — TrillionG scalability (time and peak memory vs scale)",
+		Columns: []string{"scale", "time", "x prev", "peak mem", "x prev", "edges", "d_max"},
+		Notes: []string{
+			"Time grows ≈2x per scale (∝|E|); peak memory grows well below 2x per scale (O(d_max)).",
+		},
+	}
+	for _, row := range r.Rows {
+		tx, mx := "-", "-"
+		if row.TimeX > 0 {
+			tx = fmt.Sprintf("%.2f", row.TimeX)
+		}
+		if row.MemX > 0 {
+			mx = fmt.Sprintf("%.2f", row.MemX)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", row.Scale), fmtDur(row.Elapsed), tx,
+			fmtBytes(row.PeakMem), mx,
+			fmt.Sprintf("%d", row.Edges), fmt.Sprintf("%d", row.MaxDeg),
+		})
+	}
+	return rep
+}

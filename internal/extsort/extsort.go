@@ -1,0 +1,253 @@
+// Package extsort provides disk-backed duplicate elimination for edge
+// sets: edges are buffered in bounded in-memory runs, spilled to sorted
+// run files, and finally k-way merged with duplicates dropped.
+//
+// It is the substrate of the two disk-based baselines the paper
+// evaluates against TrillionG: RMAT-disk (Figure 11a) and WES/p-disk,
+// i.e. RMAT/p-disk (Figure 11b), whose defining property is that their
+// duplicate elimination costs an external sort of the whole edge set.
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sync/atomic"
+
+	"repro/internal/gformat"
+	"repro/internal/memacct"
+)
+
+const recordBytes = 12 // 6-byte src + 6-byte dst
+
+// sorterSeq disambiguates run files of sorters sharing one directory.
+var sorterSeq atomic.Int64
+
+// Sorter accumulates edges and merges them into a deduplicated sorted
+// stream. It is not safe for concurrent use; parallel generators create
+// one Sorter per worker and merge the workers' outputs with Merger.
+type Sorter struct {
+	dir     string
+	id      int64
+	maxRun  int
+	buf     []gformat.Edge
+	runs    []string
+	acct    *memacct.Acct
+	added   int64
+	spilled int64
+	seq     int
+}
+
+// NewSorter creates a sorter spilling runs of at most maxRun edges into
+// dir (which must exist). acct, when non-nil, is charged for the
+// in-memory run buffer — the O(|E|/runs) working set of the external
+// sort.
+func NewSorter(dir string, maxRun int, acct *memacct.Acct) (*Sorter, error) {
+	if maxRun < 1 {
+		return nil, fmt.Errorf("extsort: maxRun %d < 1", maxRun)
+	}
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("extsort: run directory: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("extsort: %s is not a directory", dir)
+	}
+	return &Sorter{dir: dir, id: sorterSeq.Add(1), maxRun: maxRun, acct: acct}, nil
+}
+
+// Add buffers one edge, spilling a sorted run if the buffer is full.
+func (s *Sorter) Add(e gformat.Edge) error {
+	s.buf = append(s.buf, e)
+	if s.acct != nil {
+		s.acct.Add(memacct.EdgeBytes)
+	}
+	s.added++
+	if len(s.buf) >= s.maxRun {
+		return s.spill()
+	}
+	return nil
+}
+
+// Added returns the number of edges added (including duplicates).
+func (s *Sorter) Added() int64 { return s.added }
+
+func edgeLess(a, b gformat.Edge) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Dst < b.Dst
+}
+
+func (s *Sorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	sort.Slice(s.buf, func(i, j int) bool { return edgeLess(s.buf[i], s.buf[j]) })
+	name := filepath.Join(s.dir, fmt.Sprintf("run-%06d-%06d", s.id, s.seq))
+	s.seq++
+	f, err := os.Create(name)
+	if err != nil {
+		return fmt.Errorf("extsort: creating run: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var rec [recordBytes]byte
+	var last gformat.Edge
+	first := true
+	for _, e := range s.buf {
+		if !first && e == last {
+			continue // in-run dedup keeps run files tight
+		}
+		first, last = false, e
+		binary.LittleEndian.PutUint32(rec[0:], uint32(e.Src))
+		rec[4] = byte(e.Src >> 32)
+		rec[5] = byte(e.Src >> 40)
+		binary.LittleEndian.PutUint32(rec[6:], uint32(e.Dst))
+		rec[10] = byte(e.Dst >> 32)
+		rec[11] = byte(e.Dst >> 40)
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	s.runs = append(s.runs, name)
+	s.spilled += int64(len(s.buf))
+	if s.acct != nil {
+		s.acct.Add(-int64(len(s.buf)) * memacct.EdgeBytes)
+	}
+	s.buf = s.buf[:0]
+	return nil
+}
+
+func decodeRecord(rec []byte) gformat.Edge {
+	src := int64(binary.LittleEndian.Uint32(rec[0:])) | int64(rec[4])<<32 | int64(rec[5])<<40
+	dst := int64(binary.LittleEndian.Uint32(rec[6:])) | int64(rec[10])<<32 | int64(rec[11])<<40
+	return gformat.Edge{Src: src, Dst: dst}
+}
+
+type runReader struct {
+	br   *bufio.Reader
+	f    *os.File
+	cur  gformat.Edge
+	done bool
+}
+
+func (r *runReader) next() error {
+	var rec [recordBytes]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		if err == io.EOF {
+			r.done = true
+			return nil
+		}
+		return err
+	}
+	r.cur = decodeRecord(rec[:])
+	return nil
+}
+
+type runHeap []*runReader
+
+func (h runHeap) Len() int            { return len(h) }
+func (h runHeap) Less(i, j int) bool  { return edgeLess(h[i].cur, h[j].cur) }
+func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(*runReader)) }
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Merge flushes the final run and streams the deduplicated sorted edges
+// to emit. It returns the number of distinct edges. Run files are
+// removed afterwards; the Sorter can be reused for additional rounds
+// (new Adds start fresh runs).
+func (s *Sorter) Merge(emit func(gformat.Edge) error) (int64, error) {
+	if err := s.spill(); err != nil {
+		return 0, err
+	}
+	runs := s.runs
+	s.runs = nil
+	defer func() {
+		for _, r := range runs {
+			os.Remove(r)
+		}
+	}()
+	h := make(runHeap, 0, len(runs))
+	for _, name := range runs {
+		f, err := os.Open(name)
+		if err != nil {
+			return 0, err
+		}
+		r := &runReader{br: bufio.NewReaderSize(f, 1<<16), f: f}
+		if err := r.next(); err != nil {
+			f.Close()
+			return 0, err
+		}
+		if r.done {
+			f.Close()
+			continue
+		}
+		h = append(h, r)
+	}
+	defer func() {
+		for _, r := range h {
+			r.f.Close()
+		}
+	}()
+	heap.Init(&h)
+	var distinct int64
+	var last gformat.Edge
+	first := true
+	for len(h) > 0 {
+		top := h[0]
+		e := top.cur
+		if err := top.next(); err != nil {
+			return distinct, err
+		}
+		if top.done {
+			top.f.Close()
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+		if first || e != last {
+			first, last = false, e
+			distinct++
+			if emit != nil {
+				if err := emit(e); err != nil {
+					return distinct, err
+				}
+			}
+		}
+	}
+	return distinct, nil
+}
+
+// MergeAll deduplicates the union of several sorters' runs (the global
+// merge step of disk-based WES/p). All sorters must have stopped adding.
+func MergeAll(sorters []*Sorter, emit func(gformat.Edge) error) (int64, error) {
+	union := &Sorter{dir: "", maxRun: 1}
+	for _, s := range sorters {
+		if err := s.spill(); err != nil {
+			return 0, err
+		}
+		union.runs = append(union.runs, s.runs...)
+		s.runs = nil
+	}
+	return union.Merge(emit)
+}

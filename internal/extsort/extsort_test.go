@@ -1,0 +1,227 @@
+package extsort
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/gformat"
+	"repro/internal/memacct"
+	"repro/internal/rng"
+)
+
+func collect(t *testing.T, s *Sorter) []gformat.Edge {
+	t.Helper()
+	var out []gformat.Edge
+	n, err := s.Merge(func(e gformat.Edge) error {
+		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(out) {
+		t.Fatalf("Merge reported %d, emitted %d", n, len(out))
+	}
+	return out
+}
+
+func TestSorterValidation(t *testing.T) {
+	if _, err := NewSorter(t.TempDir(), 0, nil); err == nil {
+		t.Fatal("expected error for maxRun 0")
+	}
+	if _, err := NewSorter("/nonexistent/dir", 10, nil); err == nil {
+		t.Fatal("expected error for missing dir")
+	}
+}
+
+func TestDedupAcrossRuns(t *testing.T) {
+	s, err := NewSorter(t.TempDir(), 4, nil) // tiny runs force many spills
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []gformat.Edge{
+		{Src: 1, Dst: 2}, {Src: 3, Dst: 4}, {Src: 1, Dst: 2}, {Src: 5, Dst: 6},
+		{Src: 3, Dst: 4}, {Src: 1, Dst: 2}, {Src: 7, Dst: 8}, {Src: 5, Dst: 6}, {Src: 0, Dst: 0},
+	}
+	for _, e := range in {
+		if err := s.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Added() != int64(len(in)) {
+		t.Fatalf("Added = %d", s.Added())
+	}
+	out := collect(t, s)
+	want := []gformat.Edge{{Src: 0, Dst: 0}, {Src: 1, Dst: 2}, {Src: 3, Dst: 4}, {Src: 5, Dst: 6}, {Src: 7, Dst: 8}}
+	if len(out) != len(want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("got %v, want %v", out, want)
+		}
+	}
+}
+
+func TestEmptySorter(t *testing.T) {
+	s, err := NewSorter(t.TempDir(), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := collect(t, s); len(out) != 0 {
+		t.Fatalf("empty sorter emitted %v", out)
+	}
+}
+
+func TestLargeRandomMatchesInMemory(t *testing.T) {
+	s, err := NewSorter(t.TempDir(), 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	seen := make(map[gformat.Edge]struct{})
+	const n = 50000
+	for i := 0; i < n; i++ {
+		e := gformat.Edge{Src: src.Int63n(500), Dst: src.Int63n(500)}
+		seen[e] = struct{}{}
+		if err := s.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := collect(t, s)
+	if len(out) != len(seen) {
+		t.Fatalf("distinct %d, want %d", len(out), len(seen))
+	}
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return edgeLess(out[i], out[j]) }) {
+		t.Fatal("merge output not sorted")
+	}
+	for _, e := range out {
+		if _, ok := seen[e]; !ok {
+			t.Fatalf("unexpected edge %v", e)
+		}
+	}
+}
+
+func Test48BitIDsSurviveRoundTrip(t *testing.T) {
+	s, err := NewSorter(t.TempDir(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := gformat.MaxVertexID
+	in := []gformat.Edge{{Src: big, Dst: big - 1}, {Src: big - 1, Dst: big}, {Src: 1 << 40, Dst: 1 << 33}}
+	for _, e := range in {
+		if err := s.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := collect(t, s)
+	if len(out) != 3 {
+		t.Fatalf("got %d edges", len(out))
+	}
+	for _, e := range out {
+		found := false
+		for _, w := range in {
+			if e == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("edge %v corrupted in round trip", e)
+		}
+	}
+}
+
+func TestMemoryBounded(t *testing.T) {
+	var acct memacct.Acct
+	const maxRun = 512
+	s, err := NewSorter(t.TempDir(), maxRun, &acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	for i := 0; i < 20000; i++ {
+		if err := s.Add(gformat.Edge{Src: src.Int63n(1 << 30), Dst: src.Int63n(1 << 30)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if peak := acct.Peak(); peak > maxRun*memacct.EdgeBytes {
+		t.Fatalf("peak %d exceeds run budget %d", peak, maxRun*memacct.EdgeBytes)
+	}
+	if _, err := s.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Current() != 0 {
+		t.Fatalf("leaked %d bytes", acct.Current())
+	}
+}
+
+func TestSorterReusableAfterMerge(t *testing.T) {
+	s, err := NewSorter(t.TempDir(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(gformat.Edge{Src: 1, Dst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, s); len(got) != 1 {
+		t.Fatalf("first merge %v", got)
+	}
+	if err := s.Add(gformat.Edge{Src: 2, Dst: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, s)
+	if len(got) != 1 || got[0] != (gformat.Edge{Src: 2, Dst: 2}) {
+		t.Fatalf("second merge %v", got)
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	dir := t.TempDir()
+	var sorters []*Sorter
+	for w := 0; w < 3; w++ {
+		s, err := NewSorter(dir, 8, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			// Heavy overlap across workers to exercise cross-sorter dedup.
+			if err := s.Add(gformat.Edge{Src: int64(i % 10), Dst: int64(i % 7)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sorters = append(sorters, s)
+	}
+	var out []gformat.Edge
+	n, err := MergeAll(sorters, func(e gformat.Edge) error {
+		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[gformat.Edge]struct{})
+	for i := 0; i < 30; i++ {
+		seen[gformat.Edge{Src: int64(i % 10), Dst: int64(i % 7)}] = struct{}{}
+	}
+	if int(n) != len(seen) || len(out) != len(seen) {
+		t.Fatalf("distinct %d/%d, want %d", n, len(out), len(seen))
+	}
+}
+
+func BenchmarkAddAndMerge(b *testing.B) {
+	dir := b.TempDir()
+	src := rng.New(3)
+	s, err := NewSorter(dir, 1<<16, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Add(gformat.Edge{Src: src.Int63n(1 << 20), Dst: src.Int63n(1 << 20)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := s.Merge(nil); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package graphalgo implements the reference graph kernels used to
+// exercise generated graphs — the consumption side of the paper's first
+// motivation ("evaluating the performance of graph processing
+// methods"): Graph500-style BFS, weakly connected components, and
+// PageRank, all over the CSR image the generator emits.
+package graphalgo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gformat"
+)
+
+// BFSResult reports one breadth-first search.
+type BFSResult struct {
+	Root int64
+	// Depth[v] is the BFS level of v, or -1 if unreached.
+	Depth []int32
+	// Visited is the number of reached vertices (including the root).
+	Visited int64
+	// LevelSizes[l] is the number of vertices first reached at level l.
+	LevelSizes []int64
+	// TraversedEdges counts edge inspections (the TEPS numerator).
+	TraversedEdges int64
+}
+
+// BFS runs a level-synchronous breadth-first search from root over the
+// out-edges of g.
+func BFS(g *gformat.CSRGraph, root int64) (*BFSResult, error) {
+	if root < 0 || root >= g.NumVertices {
+		return nil, fmt.Errorf("graphalgo: root %d outside [0, %d)", root, g.NumVertices)
+	}
+	res := &BFSResult{Root: root, Depth: make([]int32, g.NumVertices)}
+	for i := range res.Depth {
+		res.Depth[i] = -1
+	}
+	res.Depth[root] = 0
+	frontier := []int64{root}
+	res.LevelSizes = append(res.LevelSizes, 1)
+	level := int32(0)
+	for len(frontier) > 0 {
+		res.Visited += int64(len(frontier))
+		var next []int64
+		for _, v := range frontier {
+			for _, w := range g.Adj(v) {
+				res.TraversedEdges++
+				if res.Depth[w] < 0 {
+					res.Depth[w] = level + 1
+					next = append(next, w)
+				}
+			}
+		}
+		if len(next) > 0 {
+			res.LevelSizes = append(res.LevelSizes, int64(len(next)))
+		}
+		frontier = next
+		level++
+	}
+	return res, nil
+}
+
+// MaxDegreeVertex returns the vertex with the largest out-degree (the
+// canonical BFS root for scale-free graphs).
+func MaxDegreeVertex(g *gformat.CSRGraph) int64 {
+	var best, arg int64 = -1, 0
+	for v := int64(0); v < g.NumVertices; v++ {
+		if d := g.Degree(v); d > best {
+			best, arg = d, v
+		}
+	}
+	return arg
+}
+
+// ConnectedComponents labels weakly connected components (edges treated
+// as undirected) with a union-find over the CSR image. Returns the
+// component label per vertex and the number of components.
+func ConnectedComponents(g *gformat.CSRGraph) ([]int64, int64) {
+	parent := make([]int64, g.NumVertices)
+	for i := range parent {
+		parent[i] = int64(i)
+	}
+	var find func(int64) int64
+	find = func(x int64) int64 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int64) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for v := int64(0); v < g.NumVertices; v++ {
+		for _, w := range g.Adj(v) {
+			union(v, w)
+		}
+	}
+	labels := make([]int64, g.NumVertices)
+	roots := make(map[int64]int64)
+	for v := int64(0); v < g.NumVertices; v++ {
+		r := find(v)
+		id, ok := roots[r]
+		if !ok {
+			id = int64(len(roots))
+			roots[r] = id
+		}
+		labels[v] = id
+	}
+	return labels, int64(len(roots))
+}
+
+// LargestComponentFraction returns the share of vertices in the biggest
+// weakly connected component — near 1 for scale-free graphs with any
+// reasonable edge factor (the "giant component").
+func LargestComponentFraction(g *gformat.CSRGraph) float64 {
+	labels, n := ConnectedComponents(g)
+	if n == 0 || g.NumVertices == 0 {
+		return 0
+	}
+	counts := make([]int64, n)
+	for _, l := range labels {
+		counts[l]++
+	}
+	var max int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return float64(max) / float64(g.NumVertices)
+}
+
+// PageRank runs power iteration with damping d until the L1 delta
+// drops below eps or maxIter is hit. Returns the rank vector (sums
+// to 1) and the iteration count.
+func PageRank(g *gformat.CSRGraph, damping float64, eps float64, maxIter int) ([]float64, int) {
+	n := g.NumVertices
+	if n == 0 {
+		return nil, 0
+	}
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		var dangling float64
+		for i := range next {
+			next[i] = 0
+		}
+		for v := int64(0); v < n; v++ {
+			adj := g.Adj(v)
+			if len(adj) == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := rank[v] / float64(len(adj))
+			for _, w := range adj {
+				next[w] += share
+			}
+		}
+		base := (1-damping)*inv + damping*dangling*inv
+		var delta float64
+		for i := range next {
+			nv := base + damping*next[i]
+			delta += math.Abs(nv - rank[i])
+			rank[i] = nv
+		}
+		if delta < eps {
+			iter++
+			break
+		}
+	}
+	return rank, iter
+}
+
+// Reverse returns the transposed CSR image: an edge (u, v) of g becomes
+// (v, u). Useful for in-adjacency queries and undirected traversal.
+func Reverse(g *gformat.CSRGraph) *gformat.CSRGraph {
+	n := g.NumVertices
+	degrees := make([]uint64, n+1)
+	for v := int64(0); v < n; v++ {
+		for _, w := range g.Adj(v) {
+			degrees[w+1]++
+		}
+	}
+	offsets := make([]uint64, n+1)
+	for i := int64(1); i <= n; i++ {
+		offsets[i] = offsets[i-1] + degrees[i]
+	}
+	neighbours := make([]int64, g.NumEdges())
+	cursor := make([]uint64, n)
+	copy(cursor, offsets[:n])
+	for v := int64(0); v < n; v++ {
+		for _, w := range g.Adj(v) {
+			neighbours[cursor[w]] = v
+			cursor[w]++
+		}
+	}
+	// Adjacency lists come out sorted by source automatically (we sweep
+	// sources in order), matching the CSR6 convention.
+	return &gformat.CSRGraph{NumVertices: n, Offsets: offsets, Neighbours: neighbours}
+}
+
+// BFSUndirected runs BFS treating edges as undirected, as the Graph500
+// benchmark specifies: it explores g's out-edges and the out-edges of
+// the precomputed reverse image. Pass rev = Reverse(g) (reusable across
+// roots).
+func BFSUndirected(g, rev *gformat.CSRGraph, root int64) (*BFSResult, error) {
+	if root < 0 || root >= g.NumVertices {
+		return nil, fmt.Errorf("graphalgo: root %d outside [0, %d)", root, g.NumVertices)
+	}
+	if rev.NumVertices != g.NumVertices {
+		return nil, fmt.Errorf("graphalgo: reverse image has %d vertices, want %d", rev.NumVertices, g.NumVertices)
+	}
+	res := &BFSResult{Root: root, Depth: make([]int32, g.NumVertices)}
+	for i := range res.Depth {
+		res.Depth[i] = -1
+	}
+	res.Depth[root] = 0
+	frontier := []int64{root}
+	res.LevelSizes = append(res.LevelSizes, 1)
+	level := int32(0)
+	for len(frontier) > 0 {
+		res.Visited += int64(len(frontier))
+		var next []int64
+		visit := func(w int64) {
+			res.TraversedEdges++
+			if res.Depth[w] < 0 {
+				res.Depth[w] = level + 1
+				next = append(next, w)
+			}
+		}
+		for _, v := range frontier {
+			for _, w := range g.Adj(v) {
+				visit(w)
+			}
+			for _, w := range rev.Adj(v) {
+				visit(w)
+			}
+		}
+		if len(next) > 0 {
+			res.LevelSizes = append(res.LevelSizes, int64(len(next)))
+		}
+		frontier = next
+		level++
+	}
+	return res, nil
+}

@@ -1,0 +1,313 @@
+package graphalgo
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gformat"
+)
+
+// buildCSR constructs a CSR image from explicit scopes.
+func buildCSR(t *testing.T, numVertices int64, scopes map[int64][]int64) *gformat.CSRGraph {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "g.csr6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := gformat.NewCSR6Writer(f, numVertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < numVertices; v++ {
+		if dsts, ok := scopes[v]; ok {
+			if err := w.WriteScope(v, dsts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := gformat.ReadCSR6(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBFSChain(t *testing.T) {
+	// 0 → 1 → 2 → 3, plus isolated 4.
+	g := buildCSR(t, 5, map[int64][]int64{0: {1}, 1: {2}, 2: {3}})
+	res, err := BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != 4 {
+		t.Fatalf("visited %d", res.Visited)
+	}
+	for v, want := range []int32{0, 1, 2, 3, -1} {
+		if res.Depth[v] != want {
+			t.Fatalf("depth[%d] = %d, want %d", v, res.Depth[v], want)
+		}
+	}
+	if len(res.LevelSizes) != 4 {
+		t.Fatalf("levels %v", res.LevelSizes)
+	}
+	if res.TraversedEdges != 3 {
+		t.Fatalf("traversed %d", res.TraversedEdges)
+	}
+}
+
+func TestBFSBadRoot(t *testing.T) {
+	g := buildCSR(t, 2, map[int64][]int64{0: {1}})
+	if _, err := BFS(g, 5); err == nil {
+		t.Fatal("expected root error")
+	}
+	if _, err := BFS(g, -1); err == nil {
+		t.Fatal("expected root error")
+	}
+}
+
+func TestMaxDegreeVertex(t *testing.T) {
+	g := buildCSR(t, 4, map[int64][]int64{1: {0, 2, 3}, 2: {0}})
+	if v := MaxDegreeVertex(g); v != 1 {
+		t.Fatalf("max-degree vertex %d", v)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components: {0,1,2} via edges, {3} isolated... plus {4,5}.
+	g := buildCSR(t, 6, map[int64][]int64{0: {1}, 2: {1}, 4: {5}})
+	labels, n := ConnectedComponents(g)
+	if n != 3 {
+		t.Fatalf("components %d, want 3", n)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("0,1,2 should share a component")
+	}
+	if labels[4] != labels[5] {
+		t.Fatal("4,5 should share a component")
+	}
+	if labels[3] == labels[0] || labels[3] == labels[4] {
+		t.Fatal("3 should be isolated")
+	}
+}
+
+func TestPageRankUniformCycle(t *testing.T) {
+	// A 4-cycle: PageRank is uniform.
+	g := buildCSR(t, 4, map[int64][]int64{0: {1}, 1: {2}, 2: {3}, 3: {0}})
+	rank, iters := PageRank(g, 0.85, 1e-12, 200)
+	if iters == 0 {
+		t.Fatal("no iterations")
+	}
+	var sum float64
+	for _, r := range rank {
+		sum += r
+		if math.Abs(r-0.25) > 1e-9 {
+			t.Fatalf("rank %v, want uniform 0.25", rank)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankSink(t *testing.T) {
+	// 0 and 1 both point at 2 (a dangling sink): 2 must outrank them
+	// and mass must be conserved.
+	g := buildCSR(t, 3, map[int64][]int64{0: {2}, 1: {2}})
+	rank, _ := PageRank(g, 0.85, 1e-12, 500)
+	var sum float64
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("mass not conserved: %v", sum)
+	}
+	if rank[2] <= rank[0] || rank[2] <= rank[1] {
+		t.Fatalf("sink not ranked highest: %v", rank)
+	}
+}
+
+// TestKernelsOnGeneratedGraph: the full loop — generate with TrillionG,
+// load CSR, run all three kernels — behaves like a scale-free graph:
+// giant component, tiny BFS diameter, heavy-tailed PageRank.
+func TestKernelsOnGeneratedGraph(t *testing.T) {
+	dir := t.TempDir()
+	cfg := core.DefaultConfig(13)
+	cfg.Workers = 1
+	if _, err := core.Generate(cfg, core.FileSinks(dir, gformat.CSR6, cfg.NumVertices())); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "part-00000.csr6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := gformat.ReadCSR6(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if frac := LargestComponentFraction(g); frac < 0.7 {
+		t.Fatalf("giant component fraction %v; scale-free graph expected > 0.7", frac)
+	}
+	root := MaxDegreeVertex(g)
+	bfs, err := BFS(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bfs.LevelSizes) > 12 {
+		t.Fatalf("BFS depth %d; small world expected", len(bfs.LevelSizes))
+	}
+	if bfs.Visited < g.NumVertices/2 {
+		t.Fatalf("BFS reached only %d of %d", bfs.Visited, g.NumVertices)
+	}
+	rank, iters := PageRank(g, 0.85, 1e-9, 200)
+	if iters >= 200 {
+		t.Fatal("PageRank did not converge")
+	}
+	// Heavy tail: the top vertex holds far more than the mean rank.
+	var max float64
+	for _, r := range rank {
+		if r > max {
+			max = r
+		}
+	}
+	mean := 1 / float64(g.NumVertices)
+	if max < 20*mean {
+		t.Fatalf("max rank %v not ≫ mean %v; expected hub dominance", max, mean)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := buildCSR(t, 4, map[int64][]int64{0: {1, 2}, 2: {1}, 3: {0}})
+	rev := Reverse(g)
+	if rev.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", rev.NumEdges(), g.NumEdges())
+	}
+	want := map[int64][]int64{0: {3}, 1: {0, 2}, 2: {0}}
+	for v := int64(0); v < 4; v++ {
+		adj := rev.Adj(v)
+		w := want[v]
+		if len(adj) != len(w) {
+			t.Fatalf("rev adj of %d = %v, want %v", v, adj, w)
+		}
+		for i := range w {
+			if adj[i] != w[i] {
+				t.Fatalf("rev adj of %d = %v, want %v", v, adj, w)
+			}
+		}
+	}
+}
+
+// TestReverseRoundTrip: reversing twice restores the original.
+func TestReverseRoundTrip(t *testing.T) {
+	g := buildCSR(t, 6, map[int64][]int64{0: {5, 2}, 3: {3}, 5: {0, 1, 2}})
+	back := Reverse(Reverse(g))
+	for v := int64(0); v < 6; v++ {
+		a, b := g.Adj(v), back.Adj(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: %v vs %v", v, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d: %v vs %v", v, a, b)
+			}
+		}
+	}
+}
+
+// TestBFSUndirected: a directed chain is fully reachable from its tail
+// only when edges are treated as undirected.
+func TestBFSUndirected(t *testing.T) {
+	g := buildCSR(t, 4, map[int64][]int64{0: {1}, 1: {2}, 2: {3}})
+	rev := Reverse(g)
+	directed, err := BFS(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if directed.Visited != 1 {
+		t.Fatalf("directed BFS from sink visited %d", directed.Visited)
+	}
+	und, err := BFSUndirected(g, rev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if und.Visited != 4 {
+		t.Fatalf("undirected BFS visited %d, want 4", und.Visited)
+	}
+	if und.Depth[0] != 3 {
+		t.Fatalf("depth of far end %d, want 3", und.Depth[0])
+	}
+}
+
+func TestBFSUndirectedValidation(t *testing.T) {
+	g := buildCSR(t, 2, map[int64][]int64{0: {1}})
+	rev := Reverse(g)
+	if _, err := BFSUndirected(g, rev, 9); err == nil {
+		t.Fatal("expected root error")
+	}
+	small := buildCSR(t, 1, nil)
+	if _, err := BFSUndirected(g, small, 0); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func benchGraph(b *testing.B) *gformat.CSRGraph {
+	b.Helper()
+	dir := b.TempDir()
+	cfg := core.DefaultConfig(15)
+	cfg.Workers = 1
+	if _, err := core.Generate(cfg, core.FileSinks(dir, gformat.CSR6, cfg.NumVertices())); err != nil {
+		b.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "part-00000.csr6"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	g, err := gformat.ReadCSR6(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(b)
+	root := MaxDegreeVertex(g)
+	b.ResetTimer()
+	var traversed int64
+	for i := 0; i < b.N; i++ {
+		res, err := BFS(g, root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		traversed += res.TraversedEdges
+	}
+	b.ReportMetric(float64(traversed)/b.Elapsed().Seconds()/1e6, "MTEPS")
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PageRank(g, 0.85, 1e-8, 50)
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConnectedComponents(g)
+	}
+}

@@ -1,0 +1,226 @@
+// Package kronecker implements the two Kronecker-model baselines of
+// Sections 2.2 and 3 (and Figure 11a):
+//
+//   - AES: the original Stochastic Kronecker Graph generator, which
+//     visits every cell of the |V|×|V| probability matrix and flips one
+//     coin per cell — O(|V|²) time, O(1) space. The quadratic blowup is
+//     exactly why the paper reports it "cannot be measured due to
+//     timeout" beyond toy scales.
+//   - FastKronecker: the SNAP-style generator that produces each edge
+//     by log_n|V| recursive region selections over an n×n seed matrix
+//     and deduplicates the whole edge set in memory — O(|E|·log|V|)
+//     time, O(|E|) space. With n = 2 it coincides with RMAT.
+package kronecker
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gformat"
+	"repro/internal/memacct"
+	"repro/internal/rng"
+	"repro/internal/skg"
+)
+
+// SeedN is an n×n probability seed matrix (row-major), the general SKG
+// seed. Entries must be non-negative and sum to 1.
+type SeedN struct {
+	N int
+	P []float64
+}
+
+// FromSeed2 converts the repository's 2×2 seed to a SeedN.
+func FromSeed2(k skg.Seed) SeedN {
+	return SeedN{N: 2, P: []float64{k.A, k.B, k.C, k.D}}
+}
+
+// Validate checks shape and stochasticity.
+func (s SeedN) Validate() error {
+	if s.N < 2 {
+		return fmt.Errorf("kronecker: seed order %d < 2", s.N)
+	}
+	if len(s.P) != s.N*s.N {
+		return fmt.Errorf("kronecker: seed has %d entries, want %d", len(s.P), s.N*s.N)
+	}
+	var sum float64
+	for _, p := range s.P {
+		if p < 0 || math.IsNaN(p) {
+			return fmt.Errorf("kronecker: seed entry %v out of range", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("kronecker: seed entries sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// At returns entry (i, j).
+func (s SeedN) At(i, j int) float64 { return s.P[i*s.N+j] }
+
+// CellProb returns the probability of edge (u, v) in the depth-level
+// Kronecker power: the product over digit positions (base n) of the
+// seed entries addressed by the digits of u and v.
+func (s SeedN) CellProb(u, v int64, depth int) float64 {
+	p := 1.0
+	n := int64(s.N)
+	for i := 0; i < depth; i++ {
+		p *= s.At(int(u%n), int(v%n))
+		u /= n
+		v /= n
+	}
+	return p
+}
+
+// Config parameterizes a Kronecker run.
+type Config struct {
+	Seed SeedN
+	// Depth is the number of Kronecker factors; |V| = N^Depth.
+	Depth int
+	// NumEdges is the distinct-edge target of FastKronecker. AES ignores
+	// it (its edge count is emergent from the probabilities).
+	NumEdges int64
+	// MemLimitBytes caps FastKronecker's in-memory edge set, yielding
+	// ErrOutOfMemory, as in Figure 11a.
+	MemLimitBytes int64
+}
+
+// ErrOutOfMemory mirrors rmat.ErrOutOfMemory for the FastKronecker
+// baseline.
+var ErrOutOfMemory = fmt.Errorf("kronecker: edge set exceeds memory limit")
+
+// NumVertices returns N^Depth.
+func (c Config) NumVertices() int64 {
+	n := int64(1)
+	for i := 0; i < c.Depth; i++ {
+		n *= int64(c.Seed.N)
+	}
+	return n
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Seed.Validate(); err != nil {
+		return err
+	}
+	if c.Depth < 1 {
+		return fmt.Errorf("kronecker: depth %d < 1", c.Depth)
+	}
+	if c.NumVertices() > 1<<47 {
+		return fmt.Errorf("kronecker: %d vertices exceed supported range", c.NumVertices())
+	}
+	return nil
+}
+
+// Result summarizes a run.
+type Result struct {
+	Edges    int64
+	Attempts int64 // cells visited (AES) or recursive generations (Fast)
+}
+
+// AES runs the original An-Edge-Scope Kronecker generator: every cell
+// of the adjacency matrix is one Bernoulli trial with the cell's
+// Kronecker probability, scaled so the expected total is NumEdges
+// (the standard "expected edge count" parameterization: cell probability
+// × |E| clamped at 1).
+func AES(cfg Config, masterSeed uint64, emit func(gformat.Edge) error) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	nv := cfg.NumVertices()
+	if nv > 1<<17 {
+		return Result{}, fmt.Errorf("kronecker: AES over %d vertices would take O(|V|^2) = %v trials; refusing (that is the point of Figure 11a)", nv, float64(nv)*float64(nv))
+	}
+	src := rng.New(masterSeed)
+	var res Result
+	scale := float64(cfg.NumEdges)
+	if scale <= 0 {
+		scale = 1
+	}
+	for u := int64(0); u < nv; u++ {
+		for v := int64(0); v < nv; v++ {
+			res.Attempts++
+			p := cfg.Seed.CellProb(u, v, cfg.Depth) * scale
+			if p > 1 {
+				p = 1
+			}
+			if src.Float64() < p {
+				res.Edges++
+				if emit != nil {
+					if err := emit(gformat.Edge{Src: u, Dst: v}); err != nil {
+						return res, err
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// GenerateEdge produces one edge by recursive region selection on the
+// n×n seed: at each of Depth steps one cell of the seed is chosen with
+// probability proportional to its entry, consuming one random value per
+// step, and the chosen (row, col) digits accumulate into (u, v).
+func GenerateEdge(s SeedN, depth int, src *rng.Source) gformat.Edge {
+	n := int64(s.N)
+	var u, v int64
+	for i := 0; i < depth; i++ {
+		x := src.Float64()
+		idx := len(s.P) - 1
+		for j, p := range s.P {
+			x -= p
+			if x < 0 {
+				idx = j
+				break
+			}
+		}
+		u = u*n + int64(idx/s.N)
+		v = v*n + int64(idx%s.N)
+	}
+	return gformat.Edge{Src: u, Dst: v}
+}
+
+// Fast runs FastKronecker: NumEdges distinct edges by recursive region
+// selection with an in-memory duplicate filter (O(|E|) space, charged
+// to acct).
+func Fast(cfg Config, masterSeed uint64, acct *memacct.Acct, emit func(gformat.Edge) error) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.NumEdges < 1 {
+		return Result{}, fmt.Errorf("kronecker: Fast needs NumEdges ≥ 1")
+	}
+	src := rng.New(masterSeed)
+	set := make(map[gformat.Edge]struct{}, cfg.NumEdges)
+	var res Result
+	var tracked int64
+	defer func() {
+		if acct != nil {
+			acct.Add(-tracked)
+		}
+	}()
+	for int64(len(set)) < cfg.NumEdges {
+		e := GenerateEdge(cfg.Seed, cfg.Depth, src)
+		res.Attempts++
+		if _, dup := set[e]; dup {
+			continue
+		}
+		set[e] = struct{}{}
+		tracked += memacct.EdgeBytes
+		if acct != nil {
+			acct.Add(memacct.EdgeBytes)
+		}
+		if cfg.MemLimitBytes > 0 && tracked > cfg.MemLimitBytes {
+			return res, ErrOutOfMemory
+		}
+	}
+	for e := range set {
+		res.Edges++
+		if emit != nil {
+			if err := emit(e); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}

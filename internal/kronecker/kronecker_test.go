@@ -1,0 +1,178 @@
+package kronecker
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/gformat"
+	"repro/internal/memacct"
+	"repro/internal/rng"
+	"repro/internal/skg"
+	"repro/internal/stats"
+)
+
+func TestSeedNValidate(t *testing.T) {
+	if err := FromSeed2(skg.Graph500Seed).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := SeedN{N: 2, P: []float64{0.5, 0.5, 0.5, 0.5}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for sum 2")
+	}
+	bad = SeedN{N: 2, P: []float64{1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for wrong size")
+	}
+	bad = SeedN{N: 1, P: []float64{1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for order 1")
+	}
+	three := SeedN{N: 3, P: []float64{0.3, 0.1, 0.05, 0.1, 0.15, 0.05, 0.05, 0.05, 0.15}}
+	if err := three.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCellProbMatchesSKG: with a 2×2 seed, CellProb coincides with
+// Proposition 1.
+func TestCellProbMatchesSKG(t *testing.T) {
+	k := skg.Graph500Seed
+	s := FromSeed2(k)
+	const depth = 6
+	n := int64(1) << depth
+	for u := int64(0); u < n; u += 3 {
+		for v := int64(0); v < n; v += 5 {
+			a := s.CellProb(u, v, depth)
+			b := skg.EdgeProb(k, u, v, depth)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("(%d,%d): CellProb %v, EdgeProb %v", u, v, a, b)
+			}
+		}
+	}
+}
+
+// TestCellProbTotalMass: 3×3 seed's Kronecker power sums to 1.
+func TestCellProbTotalMass3x3(t *testing.T) {
+	s := SeedN{N: 3, P: []float64{0.3, 0.1, 0.05, 0.1, 0.15, 0.05, 0.05, 0.05, 0.15}}
+	const depth = 4
+	nv := int64(81)
+	var sum float64
+	for u := int64(0); u < nv; u++ {
+		for v := int64(0); v < nv; v++ {
+			sum += s.CellProb(u, v, depth)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("total mass %v", sum)
+	}
+}
+
+func TestAESExpectedEdges(t *testing.T) {
+	cfg := Config{Seed: FromSeed2(skg.Graph500Seed), Depth: 9, NumEdges: 4096}
+	res, err := AES(cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 512*512 {
+		t.Fatalf("attempts %d, want |V|^2", res.Attempts)
+	}
+	// Some cells clamp at probability 1, so the yield sits slightly
+	// below NumEdges; accept 15%.
+	if math.Abs(float64(res.Edges)-4096) > 0.15*4096 {
+		t.Fatalf("edges %d, want ≈ 4096", res.Edges)
+	}
+}
+
+func TestAESRefusesHugeMatrices(t *testing.T) {
+	cfg := Config{Seed: FromSeed2(skg.Graph500Seed), Depth: 25, NumEdges: 1}
+	if _, err := AES(cfg, 1, nil); err == nil {
+		t.Fatal("expected refusal for |V|^2 blowup")
+	}
+}
+
+// TestFastEdgeDistribution: the n×n recursive selection follows the
+// Kronecker cell probabilities.
+func TestFastEdgeDistribution(t *testing.T) {
+	s := SeedN{N: 3, P: []float64{0.3, 0.1, 0.05, 0.1, 0.15, 0.05, 0.05, 0.05, 0.15}}
+	const depth = 2
+	nv := int64(9)
+	src := rng.New(5)
+	const draws = 300000
+	obs := make([]float64, nv*nv)
+	for i := 0; i < draws; i++ {
+		e := GenerateEdge(s, depth, src)
+		obs[e.Src*nv+e.Dst]++
+	}
+	expect := make([]float64, nv*nv)
+	for u := int64(0); u < nv; u++ {
+		for v := int64(0); v < nv; v++ {
+			expect[u*nv+v] = draws * s.CellProb(u, v, depth)
+		}
+	}
+	if stat := stats.ChiSquare(obs, expect, 5); stat > 160 {
+		t.Fatalf("chi-square %v too large for 80 dof", stat)
+	}
+}
+
+func TestFastProducesExactDistinctCount(t *testing.T) {
+	cfg := Config{Seed: FromSeed2(skg.Graph500Seed), Depth: 11, NumEdges: 6000}
+	seen := make(map[gformat.Edge]struct{})
+	res, err := Fast(cfg, 3, nil, func(e gformat.Edge) error {
+		if _, dup := seen[e]; dup {
+			t.Fatalf("duplicate %v", e)
+		}
+		seen[e] = struct{}{}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges != 6000 {
+		t.Fatalf("edges %d", res.Edges)
+	}
+}
+
+func TestFastOutOfMemory(t *testing.T) {
+	cfg := Config{
+		Seed: FromSeed2(skg.Graph500Seed), Depth: 13, NumEdges: 1 << 13,
+		MemLimitBytes: 100 * memacct.EdgeBytes,
+	}
+	if _, err := Fast(cfg, 1, nil, nil); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFastAccountsEdgeSet(t *testing.T) {
+	var acct memacct.Acct
+	cfg := Config{Seed: FromSeed2(skg.Graph500Seed), Depth: 12, NumEdges: 3000}
+	if _, err := Fast(cfg, 2, &acct, nil); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Peak() != 3000*memacct.EdgeBytes {
+		t.Fatalf("peak %d", acct.Peak())
+	}
+	if acct.Current() != 0 {
+		t.Fatalf("leak %d", acct.Current())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Seed: FromSeed2(skg.Graph500Seed), Depth: 50}).Validate(); err == nil {
+		t.Fatal("expected error for vertex overflow")
+	}
+	if err := (Config{Seed: FromSeed2(skg.Graph500Seed), Depth: 0}).Validate(); err == nil {
+		t.Fatal("expected error for depth 0")
+	}
+	if got := (Config{Seed: SeedN{N: 3, P: make([]float64, 9)}, Depth: 4}).NumVertices(); got != 81 {
+		t.Fatalf("NumVertices = %d", got)
+	}
+}
+
+func BenchmarkFastGenerateEdge(b *testing.B) {
+	s := FromSeed2(skg.Graph500Seed)
+	src := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		GenerateEdge(s, 30, src)
+	}
+}

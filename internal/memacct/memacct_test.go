@@ -1,0 +1,45 @@
+package memacct
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAddAndPeak(t *testing.T) {
+	var a Acct
+	a.Add(100)
+	a.Add(50)
+	a.Add(-120)
+	if a.Current() != 30 {
+		t.Fatalf("current %d", a.Current())
+	}
+	if a.Peak() != 150 {
+		t.Fatalf("peak %d", a.Peak())
+	}
+	a.Reset()
+	if a.Current() != 0 || a.Peak() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestConcurrentPeakIsAtLeastMaxSingle(t *testing.T) {
+	var a Acct
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				a.Add(10)
+				a.Add(-10)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Current() != 0 {
+		t.Fatalf("current %d after balanced ops", a.Current())
+	}
+	if a.Peak() < 10 {
+		t.Fatalf("peak %d below single charge", a.Peak())
+	}
+}

@@ -1,0 +1,104 @@
+package partition
+
+// Bin-granularity ablation (DESIGN.md §5): finer combine bins cost more
+// gather traffic but tighten the load balance. The test pins the
+// qualitative trade-off; the benchmarks quantify planning cost.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/avs"
+	"repro/internal/recvec"
+	"repro/internal/skg"
+)
+
+func imbalance(rs []Range) float64 {
+	var total, max int64
+	n := 0
+	for _, r := range rs {
+		if r.Hi > r.Lo {
+			total += r.Edges
+			if r.Edges > max {
+				max = r.Edges
+			}
+			n++
+		}
+	}
+	if total == 0 || n == 0 {
+		return 0
+	}
+	return float64(max) / (float64(total) / float64(n))
+}
+
+// TestFinerBinsBalanceBetter: binsPerPart 16 yields load balance at
+// least as tight as binsPerPart 1 (Figure 6 uses 1 bin per part; the
+// paper notes the gather cost is tiny, so finer is nearly free).
+func TestFinerBinsBalanceBetter(t *testing.T) {
+	g := gen(t, 14)
+	coarse, err := Plan(g, 5, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Plan(g, 5, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, fi := imbalance(coarse), imbalance(fine)
+	if fi > ci*1.05 {
+		t.Fatalf("finer bins worse balance: %v vs %v", fi, ci)
+	}
+}
+
+// TestPlanCoverageProperty: for random (seed, parts) the plan always
+// covers [0, |V|) exactly once — the partitioner's safety invariant.
+func TestPlanCoverageProperty(t *testing.T) {
+	g, err := avs.New(avs.Config{
+		Seed: skg.Graph500Seed, Levels: 10, NumEdges: 1 << 14,
+		Opts: recvec.Production(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint16, partsRaw uint8) bool {
+		parts := int(partsRaw)%32 + 1
+		ranges, err := Plan(g, uint64(seed), parts, 0)
+		if err != nil {
+			return false
+		}
+		if len(ranges) != parts {
+			return false
+		}
+		next := int64(0)
+		for _, r := range ranges {
+			if r.Lo != next || r.Hi < r.Lo {
+				return false
+			}
+			next = r.Hi
+		}
+		return next == 1024
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPlanBins1(b *testing.B)  { benchPlan(b, 1) }
+func BenchmarkPlanBins8(b *testing.B)  { benchPlan(b, 8) }
+func BenchmarkPlanBins64(b *testing.B) { benchPlan(b, 64) }
+
+func benchPlan(b *testing.B, bins int) {
+	g, err := avs.New(avs.Config{
+		Seed: skg.Graph500Seed, Levels: 18, NumEdges: 16 << 18,
+		Opts: recvec.Production(),
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(g, uint64(i), 60, bins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/avs"
+	"repro/internal/recvec"
+	"repro/internal/rng"
+	"repro/internal/skg"
+)
+
+func gen(t *testing.T, levels int) *avs.Generator {
+	t.Helper()
+	g, err := avs.New(avs.Config{
+		Seed:     skg.Graph500Seed,
+		Levels:   levels,
+		NumEdges: 16 << uint(levels),
+		Opts:     recvec.Production(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPlanValidation(t *testing.T) {
+	g := gen(t, 8)
+	if _, err := Plan(g, 1, 0, 0); err == nil {
+		t.Fatal("expected error for 0 parts")
+	}
+	if _, err := Plan(g, 1, 1000, 0); err == nil {
+		t.Fatal("expected error for parts > |V|")
+	}
+}
+
+// TestPlanCoversVertexSpace: ranges are contiguous, disjoint and cover
+// [0, |V|) in order, with exactly `parts` entries.
+func TestPlanCoversVertexSpace(t *testing.T) {
+	g := gen(t, 12)
+	for _, parts := range []int{1, 2, 7, 60} {
+		ranges, err := Plan(g, 99, parts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ranges) != parts {
+			t.Fatalf("parts=%d: got %d ranges", parts, len(ranges))
+		}
+		next := int64(0)
+		for i, r := range ranges {
+			if r.Lo != next {
+				t.Fatalf("parts=%d range %d starts at %d, want %d", parts, i, r.Lo, next)
+			}
+			if r.Hi < r.Lo {
+				t.Fatalf("parts=%d range %d inverted: %+v", parts, i, r)
+			}
+			next = r.Hi
+		}
+		if next != g.Config().NumVertices() {
+			t.Fatalf("parts=%d: coverage ends at %d", parts, next)
+		}
+	}
+}
+
+// TestPlanBalances: every non-trivial range's load is within a factor
+// of the ideal |E|/parts (bin granularity allows some slack; the
+// hottest vertex bounds what any partitioner can do).
+func TestPlanBalances(t *testing.T) {
+	g := gen(t, 14)
+	const parts = 8
+	ranges, err := Plan(g, 7, parts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, r := range ranges {
+		total += r.Edges
+	}
+	ideal := float64(total) / parts
+	for i, r := range ranges {
+		if float64(r.Edges) > 1.6*ideal || float64(r.Edges) < 0.4*ideal {
+			t.Fatalf("range %d load %d far from ideal %v (ranges %+v)", i, r.Edges, ideal, ranges)
+		}
+	}
+}
+
+// TestPlanLoadsMatchGeneration: the planned per-range loads equal the
+// sums of sizes the generator will actually draw — the property that
+// lets TrillionG partition before generating.
+func TestPlanLoadsMatchGeneration(t *testing.T) {
+	g := gen(t, 11)
+	const master = 1234
+	ranges, err := Plan(g, master, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ranges {
+		var sum int64
+		for u := r.Lo; u < r.Hi; u++ {
+			sum += g.ScopeSize(u, rng.NewScoped(master, uint64(u)))
+		}
+		if sum != r.Edges {
+			t.Fatalf("range %d planned %d, generation draws %d", i, r.Edges, sum)
+		}
+	}
+}
+
+// TestPlanDeterministic: same inputs, same plan.
+func TestPlanDeterministic(t *testing.T) {
+	g := gen(t, 10)
+	a, err := Plan(g, 5, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(g, 5, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans differ at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPlanSinglePart: one part owns everything.
+func TestPlanSinglePart(t *testing.T) {
+	g := gen(t, 9)
+	ranges, err := Plan(g, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 1 || ranges[0].Lo != 0 || ranges[0].Hi != 512 {
+		t.Fatalf("ranges %+v", ranges)
+	}
+}
+
+// TestPlanPartsEqualVertices: extreme split still covers the space.
+func TestPlanPartsEqualVertices(t *testing.T) {
+	g := gen(t, 4)
+	ranges, err := Plan(g, 3, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 16 {
+		t.Fatalf("got %d ranges", len(ranges))
+	}
+	if ranges[len(ranges)-1].Hi != 16 {
+		t.Fatal("last range must end at |V|")
+	}
+}

@@ -1,0 +1,120 @@
+package recvec
+
+import (
+	"math/big"
+
+	"repro/internal/skg"
+)
+
+// BigVector is the high-precision recursive vector backend, standing in
+// for the paper's Scala BigDecimal RecVec (Section 5). At trillion scale
+// (levels ≥ 36) the smallest CDF entries of a skewed seed underflow the
+// relative precision of float64 enough to misplace destinations near
+// quadrant boundaries; BigVector keeps every entry at a configurable
+// mantissa precision (default 128 bits, matching the paper's reference
+// to IEEE binary128).
+type BigVector struct {
+	levels int
+	u      int64
+	prec   uint
+	f      []*big.Float
+	sigma  []*big.Float
+}
+
+// DefaultBigPrec is the default mantissa precision in bits.
+const DefaultBigPrec = 128
+
+// NewBig builds the high-precision recursive vector of source vertex u,
+// following the same Lemma 2 recurrence as New. prec == 0 selects
+// DefaultBigPrec.
+func NewBig(k skg.Seed, u int64, levels int, prec uint) *BigVector {
+	if prec == 0 {
+		prec = DefaultBigPrec
+	}
+	v := &BigVector{
+		levels: levels,
+		u:      u,
+		prec:   prec,
+		f:      make([]*big.Float, levels+1),
+		sigma:  make([]*big.Float, levels),
+	}
+	nf := func(x float64) *big.Float { return big.NewFloat(x).SetPrec(prec) }
+	p := nf(1)
+	for x := 0; x < levels; x++ {
+		p.Mul(p, nf(k.RowSum((uint64(u)>>uint(x))&1)))
+	}
+	v.f[levels] = p
+	for x := levels - 1; x >= 0; x-- {
+		srcBit := (uint64(u) >> uint(x)) & 1
+		row := k.RowSum(srcBit)
+		frac := nf(0)
+		if row > 0 {
+			frac.Quo(nf(k.At(srcBit, 0)), nf(row))
+		}
+		v.f[x] = new(big.Float).SetPrec(prec).Mul(v.f[x+1], frac)
+	}
+	for i := 0; i < levels; i++ {
+		s := new(big.Float).SetPrec(prec).Sub(v.f[i+1], v.f[i])
+		if v.f[i].Sign() > 0 {
+			s.Quo(s, v.f[i])
+		}
+		v.sigma[i] = s
+	}
+	return v
+}
+
+// Levels returns log2|V|.
+func (v *BigVector) Levels() int { return v.levels }
+
+// RowProb returns P_{u→} as a float64 (for drawing the uniform value;
+// the draw itself does not need extended precision, only the vector
+// arithmetic does).
+func (v *BigVector) RowProb() float64 {
+	out, _ := v.f[v.levels].Float64()
+	return out
+}
+
+// At returns F_u(2^x) rounded to float64.
+func (v *BigVector) At(x int) float64 {
+	out, _ := v.f[x].Float64()
+	return out
+}
+
+// Determine maps a uniform value x ∈ [0, RowProb()) to a destination
+// vertex with all CDF arithmetic done at the vector's precision.
+func (v *BigVector) Determine(x float64) int64 {
+	bx := big.NewFloat(x).SetPrec(v.prec)
+	var dst int64
+	prev := v.levels
+	for bx.Sign() > 0 && bx.Cmp(v.f[0]) >= 0 {
+		k := v.search(bx)
+		if k >= prev {
+			k = prev - 1
+			if k < 0 {
+				break
+			}
+		}
+		prev = k
+		dst |= 1 << uint(k)
+		bx.Sub(bx, v.f[k])
+		if v.sigma[k].Sign() > 0 {
+			bx.Quo(bx, v.sigma[k])
+		} else {
+			bx.SetInt64(0)
+		}
+	}
+	return dst
+}
+
+func (v *BigVector) search(x *big.Float) int {
+	lo, hi := 0, v.levels
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.f[mid].Cmp(x) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}

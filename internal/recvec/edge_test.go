@@ -1,0 +1,122 @@
+package recvec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/skg"
+)
+
+// TestDetermineBoundaryValues: x = 0 and x just below RowProb resolve
+// to the extreme destinations without panics or loops.
+func TestDetermineBoundaryValues(t *testing.T) {
+	v := New(skg.Graph500Seed, 777, 20)
+	if got := v.Determine(0); got != 0 {
+		t.Fatalf("Determine(0) = %d, want 0", got)
+	}
+	almost := math.Nextafter(v.RowProb(), 0)
+	got := v.Determine(almost)
+	if got < 0 || got >= 1<<20 {
+		t.Fatalf("Determine(max) = %d out of range", got)
+	}
+	// The top draw must land at the very end of the CDF: the maximal
+	// destination is all-ones.
+	if got != 1<<20-1 {
+		t.Fatalf("Determine(max) = %d, want %d", got, int64(1<<20-1))
+	}
+}
+
+// TestDetermineAtExactBoundaries: drawing exactly F_u(2^k) selects bit
+// k (the half-open interval convention of Theorem 2).
+func TestDetermineAtExactBoundaries(t *testing.T) {
+	v := New(skg.Graph500Seed, 42, 10)
+	for k := 0; k < 10; k++ {
+		dst := v.Determine(v.At(k))
+		if dst&(1<<uint(k)) == 0 {
+			t.Fatalf("Determine(F(2^%d)) = %b lacks bit %d", k, dst, k)
+		}
+	}
+}
+
+// TestExtremeSeedAllMassLeft: a seed with β≈0 concentrates destinations
+// in the low half for 0-bit sources; no division blowups.
+func TestExtremeSeedSkew(t *testing.T) {
+	k := skg.Seed{A: 0.94, B: 0.01, C: 0.04, D: 0.01}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v := New(k, 0, 16)
+	src := rng.New(3)
+	highBits := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		d := v.Determine(src.UniformTo(v.RowProb()))
+		if d >= 1<<15 {
+			highBits++
+		}
+	}
+	// P(top bit set | u=0) = β/(α+β) ≈ 0.0105.
+	frac := float64(highBits) / draws
+	if math.Abs(frac-0.01/0.95) > 0.005 {
+		t.Fatalf("top-bit fraction %v, want ≈ %v", frac, 0.01/0.95)
+	}
+}
+
+// TestNewBigCustomPrecision: explicit precision levels agree with the
+// default on moderate scales.
+func TestNewBigCustomPrecision(t *testing.T) {
+	k := skg.Graph500Seed
+	lo := NewBig(k, 555, 20, 64)
+	hi := NewBig(k, 555, 20, 256)
+	src := rng.New(7)
+	for i := 0; i < 2000; i++ {
+		x := src.UniformTo(lo.RowProb())
+		if a, b := lo.Determine(x), hi.Determine(x); a != b {
+			t.Fatalf("precision 64 vs 256 disagree at x=%v: %d vs %d", x, a, b)
+		}
+	}
+}
+
+// TestBigVsFloatDisagreementIsRare: at scale 34 the float64 path may
+// differ from the 128-bit path on a tiny fraction of draws (ULP-level
+// boundary cases); quantify that it stays below 0.5% — the reason the
+// paper reserves BigDecimal for trillion-scale accuracy rather than
+// using it everywhere.
+func TestBigVsFloatDisagreementIsRare(t *testing.T) {
+	k := skg.Graph500Seed
+	const levels = 34
+	u := int64(0x2AAAAAAAA) // alternating bits
+	fv := New(k, u, levels)
+	bv := NewBig(k, u, levels, 0)
+	src := rng.New(13)
+	const draws = 20000
+	diff := 0
+	for i := 0; i < draws; i++ {
+		x := src.UniformTo(fv.RowProb())
+		if fv.Determine(x) != bv.Determine(x) {
+			diff++
+		}
+	}
+	if frac := float64(diff) / draws; frac > 0.005 {
+		t.Fatalf("float64 vs big disagreement fraction %v too high", frac)
+	}
+}
+
+// TestUniformSeedDeterminesUniformly: with the Erdős–Rényi seed every
+// destination is equally likely.
+func TestUniformSeedDeterminesUniformly(t *testing.T) {
+	v := New(skg.UniformSeed, 3, 6)
+	src := rng.New(17)
+	const draws = 128000
+	counts := make([]int64, 64)
+	for i := 0; i < draws; i++ {
+		counts[v.Determine(src.UniformTo(v.RowProb()))]++
+	}
+	want := float64(draws) / 64
+	for d, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("destination %d count %d far from %v", d, c, want)
+		}
+	}
+}

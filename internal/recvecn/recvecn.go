@@ -1,0 +1,232 @@
+// Package recvecn generalizes the recursive vector model from the
+// paper's 2×2 seed to arbitrary n×n SKG seeds — the "SKG considers n×n
+// probability parameters" case of Section 2.2, which the paper's
+// TrillionG handles only for n = 2.
+//
+// For a seed S of order n and |V| = n^L, a vertex ID is a base-n digit
+// string. The generalized recursive vector stores the CDF of source u
+// at every position d·n^k (k < L, 1 ≤ d < n):
+//
+//	F_u(d·n^k) = (Σ_{c<d} S[u_k,c]) · Π_{i<k} rowSum(u_i) · Π_{i>k} S[u_i,0]
+//
+// — (n−1)·L values built in O(n·L) — and the Lemma 3/4 symmetries carry
+// over digit-wise: for r < n^k,
+//
+//	F_u(d·n^k + r) = F_u(d·n^k) + σ_{u_k,d} · F_u(r),  σ_{u_k,d} = S[u_k,d]/S[u_k,0],
+//
+// so Theorem 2's translation loop works unchanged, one digit per
+// recursion, skipping zero digits exactly as the 2×2 model skips zero
+// bits. With n = 2 the package reproduces recvec bit-for-bit.
+package recvecn
+
+import (
+	"fmt"
+
+	"repro/internal/kronecker"
+	"repro/internal/rng"
+)
+
+// Vector is the generalized recursive vector of one source vertex.
+type Vector struct {
+	n      int
+	levels int
+	u      int64
+	// f[k*(n-1)+(d-1)] = F_u(d·n^k); boundary[k] = F_u(n^k) aliases d=1.
+	f []float64
+	// sigma[k*(n-1)+(d-1)] = S[u_k, d] / S[u_k, 0].
+	sigma []float64
+	total float64 // F_u(n^levels) = P_{u→}
+}
+
+// New builds the vector for source u in O(n·levels).
+func New(s kronecker.SeedN, u int64, levels int) (*Vector, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if levels < 1 {
+		return nil, fmt.Errorf("recvecn: levels %d < 1", levels)
+	}
+	n := s.N
+	v := &Vector{
+		n:      n,
+		levels: levels,
+		u:      u,
+		f:      make([]float64, levels*(n-1)),
+		sigma:  make([]float64, levels*(n-1)),
+	}
+	// Per-digit row data of u.
+	digits := make([]int, levels)
+	rowSums := make([]float64, levels)
+	x := u
+	for k := 0; k < levels; k++ {
+		digits[k] = int(x % int64(n))
+		x /= int64(n)
+		var rs float64
+		for c := 0; c < n; c++ {
+			rs += s.At(digits[k], c)
+		}
+		rowSums[k] = rs
+	}
+	// suffixZero[k] = Π_{i>k} S[u_i, 0]; prefixRow[k] = Π_{i<k} rowSums.
+	suffixZero := make([]float64, levels+1)
+	suffixZero[levels] = 1
+	for k := levels - 1; k >= 0; k-- {
+		suffixZero[k] = suffixZero[k+1] * s.At(digits[k], 0)
+	}
+	prefix := 1.0
+	for k := 0; k < levels; k++ {
+		var cum float64
+		for d := 1; d < n; d++ {
+			cum += s.At(digits[k], d-1)
+			v.f[k*(n-1)+(d-1)] = cum * prefix * suffixZero[k+1]
+			z := s.At(digits[k], 0)
+			if z > 0 {
+				v.sigma[k*(n-1)+(d-1)] = s.At(digits[k], d) / z
+			}
+		}
+		prefix *= rowSums[k]
+	}
+	v.total = prefix // Π rowSums = P_{u→}
+	return v, nil
+}
+
+// Order returns the seed order n.
+func (v *Vector) Order() int { return v.n }
+
+// Levels returns log_n|V|.
+func (v *Vector) Levels() int { return v.levels }
+
+// RowProb returns P_{u→}, the upper bound of the uniform draw.
+func (v *Vector) RowProb() float64 { return v.total }
+
+// At returns F_u(d·n^k) for 1 ≤ d < n.
+func (v *Vector) At(k, d int) float64 { return v.f[k*(v.n-1)+(d-1)] }
+
+// Determine maps a uniform value x ∈ [0, RowProb()) to a destination
+// vertex, one translation per nonzero digit.
+func (v *Vector) Determine(x float64) int64 {
+	var dst int64
+	n1 := v.n - 1
+	prevK := v.levels
+	for {
+		// Find the highest k with F_u(n^k) ≤ x (binary search over the
+		// d=1 boundaries, which are increasing in k).
+		lo, hi := 0, prevK // consider k in [0, prevK)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if v.f[mid*n1] <= x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		k := lo - 1
+		if k < 0 {
+			return dst
+		}
+		// Find the digit: largest d with F_u(d·n^k) ≤ x (linear scan —
+		// n is small; the row's digit boundaries are increasing).
+		d := 1
+		for d < n1 && v.f[k*n1+d] <= x {
+			d++
+		}
+		idx := k*n1 + (d - 1)
+		sig := v.sigma[idx]
+		if sig <= 0 {
+			return dst // degenerate zero-column seed; stop cleanly
+		}
+		x = (x - v.f[idx]) / sig
+		dst += int64(d) * pow64(int64(v.n), k)
+		prevK = k
+	}
+}
+
+func pow64(base int64, exp int) int64 {
+	out := int64(1)
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// ScopeSize draws the out-degree of u per the generalized Theorem 1:
+// Binomial(numEdges, P_{u→}).
+func (v *Vector) ScopeSize(numEdges int64, src *rng.Source) int64 {
+	return src.Binomial(numEdges, v.total)
+}
+
+// Generator produces whole graphs under the n×n recursive vector
+// model — the AVS pipeline for general SKG seeds.
+type Generator struct {
+	seed     kronecker.SeedN
+	levels   int
+	numEdges int64
+}
+
+// NewGenerator validates and returns a generator for |V| = n^levels and
+// the given edge target.
+func NewGenerator(seed kronecker.SeedN, levels int, numEdges int64) (*Generator, error) {
+	if err := seed.Validate(); err != nil {
+		return nil, err
+	}
+	if levels < 1 {
+		return nil, fmt.Errorf("recvecn: levels %d < 1", levels)
+	}
+	// Overflow-safe size check: n^levels must stay within 2^47.
+	nv := int64(1)
+	for i := 0; i < levels; i++ {
+		nv *= int64(seed.N)
+		if nv > 1<<47 {
+			return nil, fmt.Errorf("recvecn: %d^%d vertices exceed supported range", seed.N, levels)
+		}
+	}
+	if numEdges < 1 {
+		return nil, fmt.Errorf("recvecn: numEdges %d < 1", numEdges)
+	}
+	return &Generator{seed: seed, levels: levels, numEdges: numEdges}, nil
+}
+
+// NumVertices returns n^levels.
+func (g *Generator) NumVertices() int64 { return pow64(int64(g.seed.N), g.levels) }
+
+// Generate emits every scope (deduplicated destinations per source),
+// returning the total edge count. Scopes draw from per-vertex streams
+// seeded by masterSeed, so the output is deterministic.
+func (g *Generator) Generate(masterSeed uint64, emit func(src int64, dsts []int64) error) (int64, error) {
+	nv := g.NumVertices()
+	var total int64
+	var buf []int64
+	for u := int64(0); u < nv; u++ {
+		vec, err := New(g.seed, u, g.levels)
+		if err != nil {
+			return total, err
+		}
+		src := rng.NewScoped(masterSeed, uint64(u))
+		size := vec.ScopeSize(g.numEdges, src)
+		if size > nv {
+			size = nv
+		}
+		if size == 0 {
+			continue
+		}
+		buf = buf[:0]
+		seen := make(map[int64]struct{}, size)
+		attempts := int64(0)
+		for int64(len(buf)) < size && attempts < 64*size+1024 {
+			attempts++
+			dst := vec.Determine(src.UniformTo(vec.RowProb()))
+			if _, dup := seen[dst]; dup {
+				continue
+			}
+			seen[dst] = struct{}{}
+			buf = append(buf, dst)
+		}
+		total += int64(len(buf))
+		if emit != nil {
+			if err := emit(u, buf); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}

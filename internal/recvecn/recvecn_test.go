@@ -1,0 +1,241 @@
+package recvecn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gformat"
+	"repro/internal/kronecker"
+	"repro/internal/recvec"
+	"repro/internal/rng"
+	"repro/internal/skg"
+	"repro/internal/stats"
+)
+
+var seed3 = kronecker.SeedN{N: 3, P: []float64{
+	0.30, 0.10, 0.05,
+	0.10, 0.15, 0.05,
+	0.05, 0.05, 0.15,
+}}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(kronecker.SeedN{N: 2, P: []float64{1}}, 0, 3); err == nil {
+		t.Fatal("expected seed error")
+	}
+	if _, err := New(seed3, 0, 0); err == nil {
+		t.Fatal("expected levels error")
+	}
+}
+
+// TestVectorMatchesBruteForceCDF: every stored boundary equals direct
+// summation of CellProb over [0, d·n^k).
+func TestVectorMatchesBruteForceCDF(t *testing.T) {
+	const levels = 4
+	nv := int64(81)
+	for _, u := range []int64{0, 1, 40, 80} {
+		v, err := New(seed3, u, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cum := make([]float64, nv+1)
+		for dst := int64(0); dst < nv; dst++ {
+			cum[dst+1] = cum[dst] + seed3.CellProb(u, dst, levels)
+		}
+		for k := 0; k < levels; k++ {
+			for d := 1; d < 3; d++ {
+				pos := int64(d) * pow64(3, k)
+				if got, want := v.At(k, d), cum[pos]; math.Abs(got-want) > 1e-12 {
+					t.Fatalf("u=%d F(%d·3^%d): got %v, want %v", u, d, k, got, want)
+				}
+			}
+		}
+		if math.Abs(v.RowProb()-cum[nv]) > 1e-12 {
+			t.Fatalf("u=%d total %v, want %v", u, v.RowProb(), cum[nv])
+		}
+	}
+}
+
+// TestDetermineMatchesCDFInverse: the generalized translation resolves
+// the same destination as exact CDF inversion, value for value.
+func TestDetermineMatchesCDFInverse(t *testing.T) {
+	const levels = 4
+	nv := int64(81)
+	u := int64(47)
+	v, err := New(seed3, u, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum := make([]float64, nv)
+	acc := 0.0
+	for dst := int64(0); dst < nv; dst++ {
+		acc += seed3.CellProb(u, dst, levels)
+		cum[dst] = acc
+	}
+	inverse := func(x float64) int64 {
+		for dst := int64(0); dst < nv; dst++ {
+			if cum[dst] > x {
+				return dst
+			}
+		}
+		return nv - 1
+	}
+	src := rng.New(5)
+	for i := 0; i < 20000; i++ {
+		x := src.UniformTo(v.RowProb())
+		got, want := v.Determine(x), inverse(x)
+		if got != want {
+			lo, hi := got, want
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if math.Abs(cum[lo]-cum[hi]) > 1e-12 {
+				t.Fatalf("x=%v: recvecn %d, cdf %d", x, got, want)
+			}
+		}
+	}
+}
+
+// TestDetermineDistribution3x3: chi-square against the Kronecker cell
+// probabilities.
+func TestDetermineDistribution3x3(t *testing.T) {
+	const levels = 3
+	nv := int64(27)
+	u := int64(11)
+	v, err := New(seed3, u, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(7)
+	const draws = 300000
+	obs := make([]float64, nv)
+	for i := 0; i < draws; i++ {
+		obs[v.Determine(src.UniformTo(v.RowProb()))]++
+	}
+	expect := make([]float64, nv)
+	for dst := int64(0); dst < nv; dst++ {
+		expect[dst] = draws * seed3.CellProb(u, dst, levels) / v.RowProb()
+	}
+	if stat := stats.ChiSquare(obs, expect, 5); stat > 60 { // 26 dof, 99.9th ≈ 54.1
+		t.Fatalf("chi-square %v too large", stat)
+	}
+}
+
+// TestN2MatchesRecvec: with a 2×2 seed the generalized vector agrees
+// with the specialized one on every boundary and every determination.
+func TestN2MatchesRecvec(t *testing.T) {
+	k2 := skg.Graph500Seed
+	const levels = 14
+	u := int64(9999)
+	gen, err := New(kronecker.FromSeed2(k2), u, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := recvec.New(k2, u, levels)
+	for k := 0; k < levels; k++ {
+		if math.Abs(gen.At(k, 1)-spec.At(k)) > 1e-12 {
+			t.Fatalf("boundary %d: generalized %v, 2x2 %v", k, gen.At(k, 1), spec.At(k))
+		}
+	}
+	if math.Abs(gen.RowProb()-spec.RowProb()) > 1e-15 {
+		t.Fatal("row probabilities differ")
+	}
+	src := rng.New(11)
+	for i := 0; i < 20000; i++ {
+		x := src.UniformTo(spec.RowProb())
+		if a, b := gen.Determine(x), spec.Determine(x); a != b {
+			t.Fatalf("x=%v: generalized %d, 2x2 %d", x, a, b)
+		}
+	}
+}
+
+// TestGeneratorEdgeTotalAndDedup: whole-graph generation hits the edge
+// target with distinct destinations per scope.
+func TestGeneratorEdgeTotalAndDedup(t *testing.T) {
+	g, err := NewGenerator(seed3, 8, 60000) // 6561 vertices
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	n, err := g.Generate(3, func(src int64, dsts []int64) error {
+		seen := make(map[int64]struct{}, len(dsts))
+		for _, d := range dsts {
+			if d < 0 || d >= g.NumVertices() {
+				t.Fatalf("dst %d out of range", d)
+			}
+			if _, dup := seen[d]; dup {
+				t.Fatalf("duplicate in scope %d", src)
+			}
+			seen[d] = struct{}{}
+		}
+		total += int64(len(dsts))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != total {
+		t.Fatalf("reported %d, emitted %d", n, total)
+	}
+	if math.Abs(float64(n)-60000) > 0.05*60000 {
+		t.Fatalf("edges %d, want ≈ 60000", n)
+	}
+}
+
+// TestGeneratorMatchesFastKroneckerDistribution: degrees from the n×n
+// recursive vector match FastKronecker's on the same seed (the Figure 8
+// argument extended to n = 3).
+func TestGeneratorMatchesFastKroneckerDistribution(t *testing.T) {
+	const levels = 8 // 6561 vertices
+	edges := int64(30000)
+	g, err := NewGenerator(seed3, levels, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rvHist := make(stats.Hist)
+	if _, err := g.Generate(5, func(src int64, dsts []int64) error {
+		if len(dsts) > 0 {
+			rvHist.Add(int64(len(dsts)))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counter := stats.NewDegreeCounter()
+	if _, err := kronecker.Fast(kronecker.Config{Seed: seed3, Depth: levels, NumEdges: edges}, 7, nil,
+		func(e gformat.Edge) error {
+			counter.AddEdge(e.Src, e.Dst)
+			return nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	fkHist := counter.OutHist()
+	if ks := stats.KS(rvHist, fkHist); ks > 0.06 {
+		t.Fatalf("KS(recvecn, FastKronecker) = %v", ks)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(seed3, 0, 10); err == nil {
+		t.Fatal("expected levels error")
+	}
+	if _, err := NewGenerator(seed3, 8, 0); err == nil {
+		t.Fatal("expected edges error")
+	}
+	if _, err := NewGenerator(seed3, 40, 10); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func BenchmarkDetermine3x3(b *testing.B) {
+	v, err := New(seed3, 123456, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += v.Determine(src.UniformTo(v.RowProb()))
+	}
+	_ = sink
+}

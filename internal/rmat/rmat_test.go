@@ -1,0 +1,198 @@
+package rmat
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/gformat"
+	"repro/internal/memacct"
+	"repro/internal/rng"
+	"repro/internal/skg"
+	"repro/internal/stats"
+)
+
+func cfg(levels int, edges int64) Config {
+	return Config{Seed: skg.Graph500Seed, Levels: levels, NumEdges: edges}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg(10, 100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(0, 100)
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error for levels 0")
+	}
+	c = cfg(10, 0)
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error for 0 edges")
+	}
+	c = Config{Seed: skg.Seed{A: 2}, Levels: 10, NumEdges: 1}
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error for bad seed")
+	}
+}
+
+// TestGenerateEdgeDistribution: the quadrant-selection edge generator
+// follows Proposition 1's cell probabilities.
+func TestGenerateEdgeDistribution(t *testing.T) {
+	k := skg.Graph500Seed
+	const levels = 3
+	n := int64(1) << levels
+	src := rng.New(1)
+	const draws = 400000
+	obs := make([]float64, n*n)
+	for i := 0; i < draws; i++ {
+		e := GenerateEdge(k, levels, src)
+		obs[e.Src*n+e.Dst]++
+	}
+	expect := make([]float64, n*n)
+	for u := int64(0); u < n; u++ {
+		for v := int64(0); v < n; v++ {
+			expect[u*n+v] = float64(draws) * skg.EdgeProb(k, u, v, levels)
+		}
+	}
+	stat := stats.ChiSquare(obs, expect, 5)
+	// 63 dof; 99.9th percentile ≈ 106.
+	if stat > 130 {
+		t.Fatalf("chi-square %v too large", stat)
+	}
+}
+
+func TestMemProducesExactCount(t *testing.T) {
+	c := cfg(10, 5000)
+	seen := make(map[gformat.Edge]struct{})
+	res, err := Mem(c, 7, nil, func(e gformat.Edge) error {
+		if e.Src < 0 || e.Src >= 1024 || e.Dst < 0 || e.Dst >= 1024 {
+			t.Fatalf("edge %v out of range", e)
+		}
+		if _, dup := seen[e]; dup {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = struct{}{}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges != 5000 || len(seen) != 5000 {
+		t.Fatalf("edges %d / %d, want 5000", res.Edges, len(seen))
+	}
+	if res.Attempts < res.Edges {
+		t.Fatalf("attempts %d < edges %d", res.Attempts, res.Edges)
+	}
+}
+
+func TestMemOutOfMemory(t *testing.T) {
+	c := cfg(14, 1<<14)
+	c.MemLimitBytes = 1024 * memacct.EdgeBytes // far below the edge set
+	_, err := Mem(c, 3, nil, nil)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestMemAccountsEdgeSet(t *testing.T) {
+	var acct memacct.Acct
+	c := cfg(12, 4000)
+	if _, err := Mem(c, 5, &acct, nil); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Current() != 0 {
+		t.Fatalf("leaked %d bytes", acct.Current())
+	}
+	if acct.Peak() != 4000*memacct.EdgeBytes {
+		t.Fatalf("peak %d, want %d (O(|E|))", acct.Peak(), 4000*memacct.EdgeBytes)
+	}
+}
+
+func TestDiskMatchesMemCount(t *testing.T) {
+	c := cfg(11, 8000)
+	c.RunEdges = 1024 // force many runs
+	seen := make(map[gformat.Edge]struct{})
+	res, err := Disk(c, 9, t.TempDir(), nil, func(e gformat.Edge) error {
+		if _, dup := seen[e]; dup {
+			t.Fatalf("duplicate %v from disk path", e)
+		}
+		seen[e] = struct{}{}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges != 8000 {
+		t.Fatalf("disk produced %d edges, want 8000", res.Edges)
+	}
+}
+
+func TestDiskBoundedMemory(t *testing.T) {
+	var acct memacct.Acct
+	c := cfg(12, 20000)
+	c.RunEdges = 2000
+	if _, err := Disk(c, 11, t.TempDir(), &acct, nil); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Peak() > int64(c.RunEdges)*memacct.EdgeBytes*2 {
+		t.Fatalf("disk peak %d not bounded by run size", acct.Peak())
+	}
+}
+
+// TestMemDegreeDistributionMatchesAVS: RMAT and the recursive vector
+// model must produce statistically identical out-degree distributions
+// (the premise of Figure 8). Here we check RMAT's out-degrees against
+// the theoretical binomial means per popcount class.
+func TestMemDegreeClassMeans(t *testing.T) {
+	// Keep density low (edge factor 4 at scale 14): duplicate removal
+	// inflates low-probability cells when the graph is dense, which is a
+	// genuine property of "distinct |E| edges" generation, not a bug.
+	c := cfg(14, 1<<16)
+	counter := stats.NewDegreeCounter()
+	if _, err := Mem(c, 13, nil, func(e gformat.Edge) error {
+		counter.AddEdge(e.Src, e.Dst)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Mean degree of popcount class k ≈ |E|(α+β)^{L−k}(γ+δ)^k; compare
+	// the dominant classes (k = 3..7 of 12 have plenty of vertices).
+	sums := make([]float64, c.Levels+1)
+	ns := make([]float64, c.Levels+1)
+	for u, d := range counter.OutByVertex() {
+		k := popcount(u)
+		sums[k] += float64(d)
+		ns[k]++
+	}
+	for k := 3; k <= 7; k++ {
+		nv := choose(c.Levels, k)
+		ns[k] = float64(nv) // include degree-0 vertices of the class
+		mean := sums[k] / ns[k]
+		want := float64(c.NumEdges) * math.Pow(0.76, float64(c.Levels-k)) * math.Pow(0.24, float64(k))
+		if math.Abs(mean-want) > 0.15*want+0.5 {
+			t.Fatalf("class %d mean %v, want ≈ %v", k, mean, want)
+		}
+	}
+}
+
+func popcount(v int64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func choose(n, k int) int64 {
+	r := int64(1)
+	for i := 0; i < k; i++ {
+		r = r * int64(n-i) / int64(i+1)
+	}
+	return r
+}
+
+func BenchmarkGenerateEdge(b *testing.B) {
+	src := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		GenerateEdge(skg.Graph500Seed, 30, src)
+	}
+}

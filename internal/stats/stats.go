@@ -1,0 +1,469 @@
+// Package stats computes the graph statistics the paper's evaluation
+// plots are made of: in-/out-degree histograms, log-log degree plots and
+// their power-law slopes, rank-frequency (Zipf) slopes, an oscillation
+// metric for the SKG degree plot (Figure 9), Kolmogorov–Smirnov and
+// chi-square distances, and normal-distribution fits (Figure 10).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hist is a degree histogram: Hist[d] = number of vertices of degree d.
+// Degree-0 vertices are typically omitted (log-log plots cannot show
+// them), matching the paper's plots.
+type Hist map[int64]int64
+
+// Add records one vertex of degree d.
+func (h Hist) Add(d int64) { h[d]++ }
+
+// Vertices returns the number of vertices recorded.
+func (h Hist) Vertices() int64 {
+	var n int64
+	for _, c := range h {
+		n += c
+	}
+	return n
+}
+
+// Edges returns the total degree mass Σ d·count(d).
+func (h Hist) Edges() int64 {
+	var n int64
+	for d, c := range h {
+		n += d * c
+	}
+	return n
+}
+
+// MaxDegree returns the largest degree present (0 for an empty histogram).
+func (h Hist) MaxDegree() int64 {
+	var m int64
+	for d := range h {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Point is one (degree, count) pair of a degree plot.
+type Point struct {
+	Degree int64
+	Count  int64
+}
+
+// Points returns the histogram as points sorted by degree, excluding
+// degree 0.
+func (h Hist) Points() []Point {
+	pts := make([]Point, 0, len(h))
+	for d, c := range h {
+		if d > 0 {
+			pts = append(pts, Point{d, c})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Degree < pts[j].Degree })
+	return pts
+}
+
+// FromDegrees builds a histogram from a degree sequence, skipping zeros.
+func FromDegrees(degrees []int64) Hist {
+	h := make(Hist)
+	for _, d := range degrees {
+		if d > 0 {
+			h.Add(d)
+		}
+	}
+	return h
+}
+
+// DegreeCounter accumulates in- and out-degrees edge by edge without
+// materializing the edge set.
+type DegreeCounter struct {
+	out map[int64]int64
+	in  map[int64]int64
+}
+
+// NewDegreeCounter returns an empty counter.
+func NewDegreeCounter() *DegreeCounter {
+	return &DegreeCounter{out: make(map[int64]int64), in: make(map[int64]int64)}
+}
+
+// AddEdge records one directed edge.
+func (c *DegreeCounter) AddEdge(src, dst int64) {
+	c.out[src]++
+	c.in[dst]++
+}
+
+// AddScope records one adjacency list.
+func (c *DegreeCounter) AddScope(src int64, dsts []int64) {
+	c.out[src] += int64(len(dsts))
+	for _, d := range dsts {
+		c.in[d]++
+	}
+}
+
+// OutHist returns the out-degree histogram. Degree-0 entries (vertices
+// recorded via an empty scope) are omitted, per the Hist convention.
+func (c *DegreeCounter) OutHist() Hist {
+	h := make(Hist, len(c.out))
+	for _, d := range c.out {
+		if d > 0 {
+			h.Add(d)
+		}
+	}
+	return h
+}
+
+// InHist returns the in-degree histogram, omitting degree-0 entries.
+func (c *DegreeCounter) InHist() Hist {
+	h := make(Hist, len(c.in))
+	for _, d := range c.in {
+		if d > 0 {
+			h.Add(d)
+		}
+	}
+	return h
+}
+
+// OutDegrees returns the raw out-degree sequence (order unspecified).
+func (c *DegreeCounter) OutDegrees() []int64 {
+	ds := make([]int64, 0, len(c.out))
+	for _, d := range c.out {
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// OutByVertex returns a copy of the per-vertex out-degree map.
+func (c *DegreeCounter) OutByVertex() map[int64]int64 {
+	m := make(map[int64]int64, len(c.out))
+	for v, d := range c.out {
+		m[v] = d
+	}
+	return m
+}
+
+// InByVertex returns a copy of the per-vertex in-degree map.
+func (c *DegreeCounter) InByVertex() map[int64]int64 {
+	m := make(map[int64]int64, len(c.in))
+	for v, d := range c.in {
+		m[v] = d
+	}
+	return m
+}
+
+// InDegrees returns the raw in-degree sequence (order unspecified).
+func (c *DegreeCounter) InDegrees() []int64 {
+	ds := make([]int64, 0, len(c.in))
+	for _, d := range c.in {
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// LinearFit fits y = slope·x + intercept by least squares and returns
+// the slope, intercept and coefficient of determination r². It panics if
+// fewer than two points are supplied.
+func LinearFit(xs, ys []float64) (slope, intercept, r2 float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic(fmt.Sprintf("stats: LinearFit needs ≥2 paired points, got %d/%d", len(xs), len(ys)))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		panic("stats: LinearFit with degenerate x values")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	var ssRes float64
+	for i := range xs {
+		r := ys[i] - (slope*xs[i] + intercept)
+		ssRes += r * r
+	}
+	return slope, intercept, 1 - ssRes/ssTot
+}
+
+// PowerLawSlope fits the log-log degree plot (log2 count vs log2 degree)
+// with logarithmic binning, which is the standard way to de-noise the
+// heavy tail before fitting. Returns the fitted slope and r².
+func PowerLawSlope(h Hist) (slope, r2 float64) {
+	pts := h.Points()
+	if len(pts) < 3 {
+		return math.NaN(), 0
+	}
+	// Logarithmic bins: [2^k, 2^{k+1}). Each bin contributes the point
+	// (mass-weighted mean log-degree, log of mass per occupied integer
+	// degree), which keeps small-degree bins (that cover only one or two
+	// integers) on the underlying curve instead of biasing the fit.
+	type bin struct {
+		mass    float64 // total vertex count in bin
+		degrees float64 // number of distinct integer degrees present
+		logDSum float64 // Σ count·log2(degree)
+	}
+	bins := make(map[int]*bin)
+	for _, p := range pts {
+		k := int(math.Floor(math.Log2(float64(p.Degree))))
+		b := bins[k]
+		if b == nil {
+			b = &bin{}
+			bins[k] = b
+		}
+		b.mass += float64(p.Count)
+		b.degrees++
+		b.logDSum += float64(p.Count) * math.Log2(float64(p.Degree))
+	}
+	var xs, ys []float64
+	for _, b := range bins {
+		if b.mass <= 0 {
+			continue
+		}
+		xs = append(xs, b.logDSum/b.mass)
+		ys = append(ys, math.Log2(b.mass/b.degrees))
+	}
+	if len(xs) < 3 {
+		return math.NaN(), 0
+	}
+	s, _, r := LinearFit(xs, ys)
+	return s, r
+}
+
+// ZipfSlope fits the rank-frequency plot: vertices sorted by decreasing
+// degree, slope of log2(degree) against log2(rank). This is the slope
+// Lemma 6 predicts as log2(γ+δ)−log2(α+β) for out-degrees.
+// Ranks are subsampled logarithmically so every decade weighs equally.
+func ZipfSlope(degrees []int64) (slope, r2 float64) {
+	ds := append([]int64(nil), degrees...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] > ds[j] })
+	for len(ds) > 0 && ds[len(ds)-1] <= 0 {
+		ds = ds[:len(ds)-1]
+	}
+	if len(ds) < 4 {
+		return math.NaN(), 0
+	}
+	var xs, ys []float64
+	rank := 1
+	for rank <= len(ds) {
+		xs = append(xs, math.Log2(float64(rank)))
+		ys = append(ys, math.Log2(float64(ds[rank-1])))
+		next := int(math.Ceil(float64(rank) * 1.3))
+		if next == rank {
+			next++
+		}
+		rank = next
+	}
+	if len(xs) < 3 {
+		return math.NaN(), 0
+	}
+	s, _, r := LinearFit(xs, ys)
+	return s, r
+}
+
+// Oscillation quantifies the wave pattern of noise-free SKG degree
+// plots (Figure 9a) as the *upward mass* of the log-log plot: degrees
+// are aggregated into geometric bins (4 per octave) and the sum of
+// positive increments of log2(count density) across consecutive bins is
+// returned. A clean power law is monotone decreasing (score ≈ 0, only
+// sampling noise); the multi-octave humps of plain SKG contribute their
+// full log-amplitude, and NSKG noise flattens them — so the score falls
+// as the noise parameter N grows (Figure 9's visual claim, quantified).
+func Oscillation(h Hist) float64 {
+	pts := h.Points()
+	if len(pts) < 8 {
+		return 0
+	}
+	// Geometric bins with boundaries 2^(k/4).
+	type bin struct {
+		mass    float64
+		degrees float64
+	}
+	bins := make(map[int]*bin)
+	minK, maxK := 1<<30, -(1 << 30)
+	for _, p := range pts {
+		k := int(math.Floor(4 * math.Log2(float64(p.Degree))))
+		b := bins[k]
+		if b == nil {
+			b = &bin{}
+			bins[k] = b
+		}
+		b.mass += float64(p.Count)
+		b.degrees++
+		if k < minK {
+			minK = k
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	// Walk bins in degree order; ignore sparse bins (< 16 vertices)
+	// whose densities are sampling noise.
+	var up float64
+	prev := math.NaN()
+	for k := minK; k <= maxK; k++ {
+		b := bins[k]
+		if b == nil || b.mass < 16 {
+			continue
+		}
+		cur := math.Log2(b.mass / b.degrees)
+		if !math.IsNaN(prev) && cur > prev {
+			up += cur - prev
+		}
+		prev = cur
+	}
+	return up
+}
+
+// KS returns the two-sample Kolmogorov–Smirnov distance between the
+// degree distributions of two histograms: the maximum absolute gap
+// between their degree CDFs over vertices.
+func KS(a, b Hist) float64 {
+	na, nb := float64(a.Vertices()), float64(b.Vertices())
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	degrees := make(map[int64]struct{}, len(a)+len(b))
+	for d := range a {
+		degrees[d] = struct{}{}
+	}
+	for d := range b {
+		degrees[d] = struct{}{}
+	}
+	ds := make([]int64, 0, len(degrees))
+	for d := range degrees {
+		ds = append(ds, d)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	var ca, cb, max float64
+	for _, d := range ds {
+		ca += float64(a[d]) / na
+		cb += float64(b[d]) / nb
+		if gap := math.Abs(ca - cb); gap > max {
+			max = gap
+		}
+	}
+	return max
+}
+
+// MeanStd returns the sample mean and standard deviation of xs.
+func MeanStd(xs []int64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := float64(x) - mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return mean, std
+}
+
+// Skewness returns the sample skewness of xs; near zero for symmetric
+// (e.g. Gaussian) data, large and positive for Zipfian degrees.
+func Skewness(xs []int64) float64 {
+	mean, std := MeanStd(xs)
+	if std == 0 || len(xs) < 3 {
+		return 0
+	}
+	var acc float64
+	for _, x := range xs {
+		z := (float64(x) - mean) / std
+		acc += z * z * z
+	}
+	return acc / float64(len(xs))
+}
+
+// KSAgainstNormal returns the KS distance between the empirical
+// distribution of xs and N(mean, std²) fitted to xs. Gaussian degree
+// sequences (Figure 10b) score low; Zipfian sequences score high.
+func KSAgainstNormal(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	mean, std := MeanStd(xs)
+	if std == 0 {
+		return 1
+	}
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := float64(len(sorted))
+	var max float64
+	for i, x := range sorted {
+		f := normalCDF((float64(x)-mean)/std) - 0.5/n // continuity-ish midpoint
+		emp := (float64(i) + 0.5) / n
+		if gap := math.Abs(f - emp); gap > max {
+			max = gap
+		}
+	}
+	return max
+}
+
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// ChiSquare computes Pearson's statistic of observed counts against
+// expected counts, skipping cells with expectation below minExpect.
+func ChiSquare(obs, expect []float64, minExpect float64) float64 {
+	if len(obs) != len(expect) {
+		panic("stats: ChiSquare length mismatch")
+	}
+	var stat float64
+	for i := range obs {
+		if expect[i] < minExpect {
+			continue
+		}
+		d := obs[i] - expect[i]
+		stat += d * d / expect[i]
+	}
+	return stat
+}
+
+// KSCritical returns the two-sample Kolmogorov–Smirnov critical value
+// at significance alpha for sample sizes m and n (asymptotic Smirnov
+// formula): distributions with KS below it are statistically
+// indistinguishable at that level. Supported alphas: 0.10, 0.05, 0.01,
+// 0.001 (others fall back to 0.05).
+func KSCritical(m, n int64, alpha float64) float64 {
+	if m <= 0 || n <= 0 {
+		return 1
+	}
+	var c float64
+	switch {
+	case alpha >= 0.10:
+		c = 1.22
+	case alpha >= 0.05:
+		c = 1.36
+	case alpha >= 0.01:
+		c = 1.63
+	default:
+		c = 1.95
+	}
+	return c * math.Sqrt(float64(m+n)/float64(m*n))
+}
+
+// KSIndistinguishable reports whether two degree histograms are
+// statistically indistinguishable at significance alpha.
+func KSIndistinguishable(a, b Hist, alpha float64) bool {
+	return KS(a, b) <= KSCritical(a.Vertices(), b.Vertices(), alpha)
+}

@@ -1,0 +1,300 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestHistBasics(t *testing.T) {
+	h := make(Hist)
+	h.Add(3)
+	h.Add(3)
+	h.Add(1)
+	if h.Vertices() != 3 {
+		t.Fatalf("Vertices = %d", h.Vertices())
+	}
+	if h.Edges() != 7 {
+		t.Fatalf("Edges = %d", h.Edges())
+	}
+	if h.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d", h.MaxDegree())
+	}
+	pts := h.Points()
+	if len(pts) != 2 || pts[0] != (Point{1, 1}) || pts[1] != (Point{3, 2}) {
+		t.Fatalf("Points = %v", pts)
+	}
+}
+
+func TestFromDegreesSkipsZeros(t *testing.T) {
+	h := FromDegrees([]int64{0, 0, 2, 5})
+	if h.Vertices() != 2 {
+		t.Fatalf("Vertices = %d, want 2 (zeros skipped)", h.Vertices())
+	}
+}
+
+func TestDegreeCounter(t *testing.T) {
+	c := NewDegreeCounter()
+	c.AddEdge(1, 2)
+	c.AddEdge(1, 3)
+	c.AddScope(2, []int64{3, 3})
+	out, in := c.OutHist(), c.InHist()
+	if out[2] != 2 { // vertices 1 and 2 both have out-degree 2
+		t.Fatalf("out hist %v", out)
+	}
+	if in[1] != 1 || in[3] != 1 { // vertex 2 in-deg 1, vertex 3 in-deg 3
+		t.Fatalf("in hist %v", in)
+	}
+	if got := len(c.OutDegrees()); got != 2 {
+		t.Fatalf("OutDegrees len %d", got)
+	}
+	if got := len(c.InDegrees()); got != 2 {
+		t.Fatalf("InDegrees len %d", got)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x+1
+	s, b, r2 := LinearFit(xs, ys)
+	if math.Abs(s-2) > 1e-12 || math.Abs(b-1) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("fit = %v, %v, %v", s, b, r2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{1})
+}
+
+// TestPowerLawSlopeSynthetic: a synthetic pure power law count(d) ∝ d^s
+// recovers s.
+func TestPowerLawSlopeSynthetic(t *testing.T) {
+	h := make(Hist)
+	const s = -2.0
+	for d := int64(1); d <= 4096; d++ {
+		c := int64(math.Round(1e7 * math.Pow(float64(d), s)))
+		if c > 0 {
+			h[d] = c
+		}
+	}
+	got, r2 := PowerLawSlope(h)
+	if math.Abs(got-s) > 0.15 {
+		t.Fatalf("slope %v, want %v", got, s)
+	}
+	if r2 < 0.98 {
+		t.Fatalf("r2 %v too low for pure power law", r2)
+	}
+}
+
+// TestZipfSlopeSynthetic: degrees d(rank) ∝ rank^s recover s.
+func TestZipfSlopeSynthetic(t *testing.T) {
+	const s = -0.8
+	var ds []int64
+	for rank := 1; rank <= 20000; rank++ {
+		ds = append(ds, int64(math.Round(1e5*math.Pow(float64(rank), s))))
+	}
+	got, r2 := ZipfSlope(ds)
+	if math.Abs(got-s) > 0.05 {
+		t.Fatalf("slope %v, want %v", got, s)
+	}
+	if r2 < 0.99 {
+		t.Fatalf("r2 %v too low", r2)
+	}
+}
+
+func TestZipfSlopeDegenerate(t *testing.T) {
+	if s, _ := ZipfSlope([]int64{1, 2}); !math.IsNaN(s) {
+		t.Fatalf("expected NaN for tiny input, got %v", s)
+	}
+	if s, _ := ZipfSlope([]int64{0, 0, 0, 0, 0}); !math.IsNaN(s) {
+		t.Fatalf("expected NaN for all-zero input, got %v", s)
+	}
+}
+
+// TestOscillationOrdersSmoothVsWavy: a power law with octave-period
+// humps (the SKG wave shape) scores much higher than the smooth curve.
+func TestOscillationOrdersSmoothVsWavy(t *testing.T) {
+	smooth, wavy := make(Hist), make(Hist)
+	for d := int64(1); d <= 512; d++ {
+		base := 1e6 * math.Pow(float64(d), -2)
+		smooth[d] = int64(base) + 1
+		// Hump: ×4 boost on odd octaves, the multi-bin wave NSKG removes.
+		f := 1.0
+		if int64(math.Floor(math.Log2(float64(d))))%2 == 1 {
+			f = 4.0
+		}
+		wavy[d] = int64(base*f) + 1
+	}
+	so, wo := Oscillation(smooth), Oscillation(wavy)
+	if wo < 4*so+1 {
+		t.Fatalf("wavy oscillation %v not clearly above smooth %v", wo, so)
+	}
+}
+
+// TestOscillationSmoothIsSmall: a clean power law scores near zero.
+func TestOscillationSmoothIsSmall(t *testing.T) {
+	smooth := make(Hist)
+	for d := int64(1); d <= 2048; d++ {
+		c := int64(1e7 * math.Pow(float64(d), -1.8))
+		if c > 0 {
+			smooth[d] = c
+		}
+	}
+	if o := Oscillation(smooth); o > 0.2 {
+		t.Fatalf("smooth power law oscillation %v, want ≈ 0", o)
+	}
+}
+
+func TestOscillationTinyHist(t *testing.T) {
+	h := Hist{1: 1, 2: 2}
+	if Oscillation(h) != 0 {
+		t.Fatal("tiny histogram should score 0")
+	}
+}
+
+func TestKSIdentical(t *testing.T) {
+	h := Hist{1: 10, 2: 5, 7: 1}
+	if d := KS(h, h); d != 0 {
+		t.Fatalf("KS(h,h) = %v", d)
+	}
+}
+
+func TestKSDisjoint(t *testing.T) {
+	a := Hist{1: 10}
+	b := Hist{100: 10}
+	if d := KS(a, b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("KS(disjoint) = %v, want 1", d)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if d := KS(Hist{}, Hist{1: 1}); d != 1 {
+		t.Fatalf("KS with empty = %v", d)
+	}
+}
+
+func TestKSSymmetricProperty(t *testing.T) {
+	src := rng.New(1)
+	f := func(seed uint32) bool {
+		a, b := make(Hist), make(Hist)
+		for i := 0; i < 50; i++ {
+			a[src.Int63n(20)+1]++
+			b[src.Int63n(20)+1]++
+		}
+		d1, d2 := KS(a, b), KS(b, a)
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]int64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(mean-5) > 1e-12 {
+		t.Fatalf("mean %v", mean)
+	}
+	if math.Abs(std-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("std %v", std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty MeanStd should be 0,0")
+	}
+}
+
+func TestSkewnessSymmetricVsSkewed(t *testing.T) {
+	src := rng.New(2)
+	var sym, skewed []int64
+	for i := 0; i < 20000; i++ {
+		sym = append(sym, int64(math.Round(src.Normal(100, 10))))
+		// Heavy-tailed: x = exp(normal)
+		skewed = append(skewed, int64(math.Exp(src.Normal(2, 1))))
+	}
+	if s := Skewness(sym); math.Abs(s) > 0.1 {
+		t.Fatalf("normal skewness %v, want ~0", s)
+	}
+	if s := Skewness(skewed); s < 1 {
+		t.Fatalf("lognormal skewness %v, want large positive", s)
+	}
+}
+
+func TestKSAgainstNormal(t *testing.T) {
+	src := rng.New(3)
+	var gauss, zipf []int64
+	for i := 0; i < 20000; i++ {
+		gauss = append(gauss, int64(math.Round(src.Normal(50, 5))))
+	}
+	for rank := 1; rank <= 20000; rank++ {
+		zipf = append(zipf, int64(1+1e5/math.Pow(float64(rank), 1.2)))
+	}
+	g := KSAgainstNormal(gauss)
+	z := KSAgainstNormal(zipf)
+	if g > 0.05 {
+		t.Fatalf("gaussian sample KS %v too high", g)
+	}
+	if z < 0.2 {
+		t.Fatalf("zipfian sample KS %v too low", z)
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	obs := []float64{10, 20, 30}
+	exp := []float64{10, 20, 30}
+	if s := ChiSquare(obs, exp, 0.5); s != 0 {
+		t.Fatalf("chi-square of identical = %v", s)
+	}
+	exp2 := []float64{15, 20, 0.1}
+	s := ChiSquare(obs, exp2, 0.5) // third cell skipped
+	want := 25.0 / 15
+	if math.Abs(s-want) > 1e-12 {
+		t.Fatalf("chi-square %v, want %v", s, want)
+	}
+}
+
+func TestChiSquarePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ChiSquare([]float64{1}, []float64{1, 2}, 0)
+}
+
+func TestKSCritical(t *testing.T) {
+	// Symmetric, shrinks with sample size, grows with strictness.
+	if KSCritical(100, 400, 0.05) != KSCritical(400, 100, 0.05) {
+		t.Fatal("not symmetric")
+	}
+	if KSCritical(10000, 10000, 0.05) >= KSCritical(100, 100, 0.05) {
+		t.Fatal("does not shrink with n")
+	}
+	if KSCritical(100, 100, 0.001) <= KSCritical(100, 100, 0.10) {
+		t.Fatal("does not grow with strictness")
+	}
+	if KSCritical(0, 5, 0.05) != 1 {
+		t.Fatal("degenerate sizes should return 1")
+	}
+}
+
+func TestKSIndistinguishable(t *testing.T) {
+	src := rng.New(71)
+	a, b, c := make(Hist), make(Hist), make(Hist)
+	for i := 0; i < 5000; i++ {
+		a[src.Int63n(50)+1]++
+		b[src.Int63n(50)+1]++
+		c[src.Int63n(50)+25]++ // shifted
+	}
+	if !KSIndistinguishable(a, b, 0.01) {
+		t.Fatal("same-distribution samples flagged different")
+	}
+	if KSIndistinguishable(a, c, 0.01) {
+		t.Fatal("shifted distribution not detected")
+	}
+}

@@ -1,0 +1,91 @@
+// Package teg implements a TeG-like generator (Jeon et al., ICDM'15),
+// the Figure 8 counter-example: it decomposes the adjacency matrix into
+// per-vertex submatrices and fixes the number of edges of each
+// submatrix statically (deterministically) instead of stochastically.
+//
+// Because every vertex with the same bit-pattern class receives exactly
+// the same degree round(|E|·P_{u→}), the degree histogram collapses
+// onto ~log|V| discrete spikes and the log-log plot is "far from
+// RMAT's" — which is precisely what the paper shows and what our
+// Figure 8 reproduction asserts via a large KS distance.
+package teg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/recvec"
+	"repro/internal/rng"
+	"repro/internal/skg"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Seed     skg.Seed
+	Levels   int
+	NumEdges int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Seed.Validate(); err != nil {
+		return err
+	}
+	if c.Levels < 1 || c.Levels > 47 {
+		return fmt.Errorf("teg: levels %d outside [1, 47]", c.Levels)
+	}
+	if c.NumEdges < 1 {
+		return fmt.Errorf("teg: NumEdges %d < 1", c.NumEdges)
+	}
+	return nil
+}
+
+// Degree returns TeG's statically fixed degree of vertex u:
+// round(|E| · P_{u→}). No randomness is involved — the defining
+// deviation from Theorem 1.
+func Degree(cfg Config, u int64) int64 {
+	return int64(math.Round(float64(cfg.NumEdges) * skg.RowProb(cfg.Seed, u, cfg.Levels)))
+}
+
+// Generate emits every scope: each vertex u receives exactly Degree(u)
+// distinct destinations (destinations themselves are still drawn from
+// the row distribution so in-degrees stay plausible; out-degrees are
+// the deterministic giveaway).
+func Generate(cfg Config, masterSeed uint64, emit func(src int64, dsts []int64) error) (int64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	nv := int64(1) << uint(cfg.Levels)
+	var total int64
+	var buf []int64
+	for u := int64(0); u < nv; u++ {
+		d := Degree(cfg, u)
+		if d > nv {
+			d = nv
+		}
+		if d == 0 {
+			continue
+		}
+		vec := recvec.New(cfg.Seed, u, cfg.Levels)
+		src := rng.NewScoped(masterSeed, uint64(u))
+		seen := make(map[int64]struct{}, d)
+		buf = buf[:0]
+		attempts := int64(0)
+		for int64(len(buf)) < d && attempts < 64*d+1024 {
+			attempts++
+			dst := vec.Determine(src.UniformTo(vec.RowProb()))
+			if _, dup := seen[dst]; dup {
+				continue
+			}
+			seen[dst] = struct{}{}
+			buf = append(buf, dst)
+		}
+		total += int64(len(buf))
+		if emit != nil {
+			if err := emit(u, buf); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}

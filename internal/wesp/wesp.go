@@ -1,0 +1,281 @@
+// Package wesp implements WES/p (Algorithm 3), the merge-based parallel
+// RMAT the paper calls RMAT/p: every worker generates |E|/P·(1+ε) edges
+// over the whole adjacency matrix, the edges are shuffled so all copies
+// of an edge land on one owner, and each owner merges its inbox while
+// eliminating duplicates.
+//
+// Both variants of Section 3.2 are provided: WES/p-mem (in-memory
+// dedup, O(|E|/P) space per worker — the Figure 11b baseline that hits
+// O.O.M. first) and WES/p-disk (external-sort dedup). Ownership is by
+// source vertex, which reproduces the workload skew the paper blames
+// for RMAT/p's poor scaling: the machine that owns the hottest vertices
+// receives a disproportionate inbox.
+package wesp
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/extsort"
+	"repro/internal/gformat"
+	"repro/internal/memacct"
+	"repro/internal/rmat"
+	"repro/internal/rng"
+	"repro/internal/skg"
+)
+
+// Config parameterizes a WES/p run.
+type Config struct {
+	Seed     skg.Seed
+	Levels   int
+	NumEdges int64
+	// Epsilon is the duplicate-slack overshoot of Algorithm 3 (default
+	// 0.01, the value the paper cites from [28, 35]).
+	Epsilon float64
+	// Cluster describes the simulated cluster.
+	Cluster cluster.Config
+	// Disk selects external-sort dedup (WES/p-disk).
+	Disk bool
+	// Dir is the spill directory (disk mode).
+	Dir string
+	// RunEdges bounds in-memory runs in disk mode (default 1<<20).
+	RunEdges int
+	// MemLimitBytes caps any single machine's tracked memory in mem
+	// mode; exceeding it returns ErrOutOfMemory.
+	MemLimitBytes int64
+}
+
+// ErrOutOfMemory reports a machine exceeding its memory cap.
+var ErrOutOfMemory = fmt.Errorf("wesp: machine memory limit exceeded")
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Seed.Validate(); err != nil {
+		return err
+	}
+	if c.Levels < 1 || c.Levels > 47 {
+		return fmt.Errorf("wesp: levels %d outside [1, 47]", c.Levels)
+	}
+	if c.NumEdges < 1 {
+		return fmt.Errorf("wesp: NumEdges %d < 1", c.NumEdges)
+	}
+	if c.Epsilon < 0 {
+		return fmt.Errorf("wesp: negative epsilon")
+	}
+	if c.Disk && c.Dir == "" {
+		return fmt.Errorf("wesp: disk mode needs a spill directory")
+	}
+	return c.Cluster.Validate()
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Edges is the number of distinct edges after the global merge.
+	Edges int64
+	// Attempts counts all stochastic generations.
+	Attempts int64
+	// Sim carries the simulated-cluster timing (generation makespan,
+	// shuffle transfer, merge makespan).
+	Sim *cluster.Sim
+	// PeakMachineBytes is the largest tracked working set of any
+	// machine.
+	PeakMachineBytes int64
+}
+
+// owner maps an edge to its owning worker: by source vertex, so the
+// worker can emit adjacency data, and so all duplicates collide.
+func owner(src int64, workers int) int {
+	return int(rng.Mix64(0x5157, uint64(src)) % uint64(workers))
+}
+
+// Run executes WES/p. emit, when non-nil, receives every distinct edge
+// during the merge phase (order unspecified).
+func Run(cfg Config, masterSeed uint64, emit func(gformat.Edge) error) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Disk {
+		return runDisk(cfg, masterSeed, emit)
+	}
+	return runMem(cfg, masterSeed, emit)
+}
+
+func runMem(cfg Config, masterSeed uint64, emit func(gformat.Edge) error) (Result, error) {
+	sim, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Sim: sim}
+	workers := cfg.Cluster.Workers()
+	machines := cfg.Cluster.Machines
+	eps := cfg.Epsilon
+	perWorker := int64(float64(cfg.NumEdges) / float64(workers) * (1 + eps))
+
+	machineBytes := make([]int64, machines)
+	charge := func(m int, b int64) error {
+		machineBytes[m] += b
+		if machineBytes[m] > res.PeakMachineBytes {
+			res.PeakMachineBytes = machineBytes[m]
+		}
+		if cfg.MemLimitBytes > 0 && machineBytes[m] > cfg.MemLimitBytes {
+			return ErrOutOfMemory
+		}
+		return nil
+	}
+
+	// Generation phase: per-worker local dedup (Algorithm 3 lines 2–6).
+	local := make([]map[gformat.Edge]struct{}, workers)
+	err = sim.RunPhase("generate", func(w cluster.Worker) error {
+		src := rng.NewScoped(masterSeed, uint64(w.Index))
+		set := make(map[gformat.Edge]struct{}, perWorker)
+		for int64(len(set)) < perWorker {
+			e := rmat.GenerateEdge(cfg.Seed, cfg.Levels, src)
+			res.Attempts++
+			if _, dup := set[e]; dup {
+				continue
+			}
+			set[e] = struct{}{}
+			if err := charge(w.Machine, memacct.EdgeBytes); err != nil {
+				return err
+			}
+		}
+		local[w.Index] = set
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Shuffle phase: route edges to owners; count cross-machine bytes.
+	traffic := make([][]int64, machines)
+	for i := range traffic {
+		traffic[i] = make([]int64, machines)
+	}
+	inbox := make([][]gformat.Edge, workers)
+	for wi, set := range local {
+		fromMachine := wi / cfg.Cluster.ThreadsPerMachine
+		for e := range set {
+			o := owner(e.Src, workers)
+			toMachine := o / cfg.Cluster.ThreadsPerMachine
+			traffic[fromMachine][toMachine] += 12
+			inbox[o] = append(inbox[o], e)
+			// The copy in the inbox is charged to the receiving machine;
+			// the sender frees its copy as it streams out.
+			if err := charge(toMachine, memacct.EdgeBytes); err != nil {
+				return res, err
+			}
+		}
+		machineBytes[fromMachine] -= int64(len(set)) * memacct.EdgeBytes
+		local[wi] = nil
+	}
+	if err := sim.AddTransfer("shuffle", traffic); err != nil {
+		return res, err
+	}
+
+	// Merge phase: per-owner dedup (Algorithm 3 lines 8–9). The skew the
+	// paper discusses shows up here: inbox sizes differ wildly.
+	err = sim.RunPhase("merge", func(w cluster.Worker) error {
+		set := make(map[gformat.Edge]struct{}, len(inbox[w.Index]))
+		for _, e := range inbox[w.Index] {
+			set[e] = struct{}{}
+		}
+		res.Edges += int64(len(set))
+		if emit != nil {
+			for e := range set {
+				if err := emit(e); err != nil {
+					return err
+				}
+			}
+		}
+		machineBytes[w.Machine] -= int64(len(inbox[w.Index])) * memacct.EdgeBytes
+		inbox[w.Index] = nil
+		return nil
+	})
+	return res, err
+}
+
+func runDisk(cfg Config, masterSeed uint64, emit func(gformat.Edge) error) (Result, error) {
+	sim, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Sim: sim}
+	workers := cfg.Cluster.Workers()
+	machines := cfg.Cluster.Machines
+	runEdges := cfg.RunEdges
+	if runEdges <= 0 {
+		runEdges = 1 << 20
+	}
+	perWorker := int64(float64(cfg.NumEdges) / float64(workers) * (1 + cfg.Epsilon))
+
+	// Generation phase: spill attempts to per-worker sorted runs.
+	// Memory is tracked per machine so the peak is comparable with the
+	// mem variant's per-machine accounting.
+	accts := make([]memacct.Acct, machines)
+	gen := make([]*extsort.Sorter, workers)
+	err = sim.RunPhase("generate", func(w cluster.Worker) error {
+		s, err := extsort.NewSorter(cfg.Dir, runEdges, &accts[w.Machine])
+		if err != nil {
+			return err
+		}
+		gen[w.Index] = s
+		src := rng.NewScoped(masterSeed, uint64(w.Index))
+		for i := int64(0); i < perWorker; i++ {
+			if err := s.Add(rmat.GenerateEdge(cfg.Seed, cfg.Levels, src)); err != nil {
+				return err
+			}
+			res.Attempts++
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Shuffle phase: stream each worker's sorted output and route
+	// records into per-owner sorters, counting cross-machine bytes.
+	inbox := make([]*extsort.Sorter, workers)
+	for i := range inbox {
+		s, err := extsort.NewSorter(cfg.Dir, runEdges, &accts[i/cfg.Cluster.ThreadsPerMachine])
+		if err != nil {
+			return res, err
+		}
+		inbox[i] = s
+	}
+	traffic := make([][]int64, machines)
+	for i := range traffic {
+		traffic[i] = make([]int64, machines)
+	}
+	err = sim.RunPhase("route", func(w cluster.Worker) error {
+		_, err := gen[w.Index].Merge(func(e gformat.Edge) error {
+			o := owner(e.Src, workers)
+			traffic[w.Machine][o/cfg.Cluster.ThreadsPerMachine] += 12
+			return inbox[o].Add(e)
+		})
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	if err := sim.AddTransfer("shuffle", traffic); err != nil {
+		return res, err
+	}
+
+	// Merge phase: external-sort dedup per owner.
+	err = sim.RunPhase("merge", func(w cluster.Worker) error {
+		n, err := inbox[w.Index].Merge(func(e gformat.Edge) error {
+			if emit != nil {
+				return emit(e)
+			}
+			return nil
+		})
+		res.Edges += n
+		return err
+	})
+	for i := range accts {
+		if p := accts[i].Peak(); p > res.PeakMachineBytes {
+			res.PeakMachineBytes = p
+		}
+	}
+	return res, err
+}

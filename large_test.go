@@ -1,0 +1,75 @@
+package trilliong
+
+// Large-scale smoke test, gated behind TRILLIONG_LARGE=1 because it
+// generates tens of millions of edges (~1–2 minutes on one core):
+//
+//	TRILLIONG_LARGE=1 go test -run TestLargeScale -v .
+//
+// It checks that the invariants the small tests pin — edge totals,
+// O(d_max) memory, Zipf class slopes — hold at a scale where the
+// asymptotics dominate the constants.
+
+import (
+	"math"
+	"os"
+	"testing"
+)
+
+func TestLargeScaleSmoke(t *testing.T) {
+	if os.Getenv("TRILLIONG_LARGE") == "" {
+		t.Skip("set TRILLIONG_LARGE=1 to run the Scale-21 smoke test")
+	}
+	cfg := New(21) // 2M vertices, 33.5M edges
+	cfg.Workers = 2
+	classSum := make([]float64, cfg.Scale+1)
+	classN := make([]float64, cfg.Scale+1)
+	st, err := cfg.GenerateFunc(func(src int64, dsts []int64) error {
+		ones := 0
+		for x := src; x != 0; x &= x - 1 {
+			ones++
+		}
+		classSum[ones] += float64(len(dsts))
+		classN[ones]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(cfg.NumEdges())
+	if math.Abs(float64(st.Edges)-want) > 0.01*want {
+		t.Fatalf("edges %d, want ≈ %d within 1%%", st.Edges, cfg.NumEdges())
+	}
+	// O(d_max): peak must be under 1 MB while the edge set is ~0.5 GB.
+	if st.PeakWorkerBytes > 1<<20 {
+		t.Fatalf("peak worker bytes %d; O(d_max) should stay tiny", st.PeakWorkerBytes)
+	}
+	// Lemma 6 class slope at scale: tight tolerance now.
+	var xs, ys []float64
+	for k := 0; k <= cfg.Scale; k++ {
+		if classN[k] < 32 {
+			continue
+		}
+		mean := classSum[k] / classN[k]
+		if mean < 4 {
+			continue
+		}
+		xs = append(xs, float64(k))
+		ys = append(ys, math.Log2(mean))
+	}
+	slope := fitSlope(xs, ys)
+	if math.Abs(slope-cfg.Seed.OutZipfSlope()) > 0.04 {
+		t.Fatalf("class slope %v, want %v ± 0.04", slope, cfg.Seed.OutZipfSlope())
+	}
+}
+
+func fitSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

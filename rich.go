@@ -1,0 +1,72 @@
+package trilliong
+
+import (
+	"io"
+
+	"repro/internal/erv"
+	"repro/internal/gmark"
+	"repro/internal/skg"
+)
+
+// Schema is a gMark-style graph configuration: node types with ratios,
+// edge predicates with ratios, and per-predicate degree distributions.
+// TrillionG generates it with the extended recursive vector model
+// (Section 6), at scale and without the duplicate edges gMark emits.
+type Schema = gmark.Schema
+
+// NodeType declares one vertex class of a Schema.
+type NodeType = gmark.NodeType
+
+// EdgeType declares one predicate of a Schema.
+type EdgeType = gmark.EdgeType
+
+// DistSpec declares a degree distribution ("zipfian" with a slope,
+// "gaussian", or "uniform" with min/max).
+type DistSpec = gmark.DistSpec
+
+// VertexRange is a node type's global ID range.
+type VertexRange = gmark.VertexRange
+
+// ParseSchema reads a JSON graph configuration.
+func ParseSchema(r io.Reader) (*Schema, error) { return gmark.ParseSchema(r) }
+
+// BibliographySchema returns the paper's Figure 7 example: researchers,
+// papers, journals and conferences with author/publishedIn/cites
+// predicates, Zipfian authorship out-degrees and Gaussian in-degrees.
+func BibliographySchema(numVertices, numEdges int64) *Schema {
+	return gmark.Bibliography(numVertices, numEdges)
+}
+
+// SocialNetworkSchema returns an LDBC-SNB-flavoured schema: persons and
+// posts with follows/created/likes predicates, heavy-tailed on both
+// the follower and the viral-post axes.
+func SocialNetworkSchema(numVertices, numEdges int64) *Schema {
+	return gmark.SocialNetwork(numVertices, numEdges)
+}
+
+// RichDist is the programmatic form of a degree distribution for direct
+// use of the extended recursive vector model.
+type RichDist = erv.Dist
+
+// Rich-distribution kinds.
+const (
+	Zipfian  = erv.Zipfian
+	Gaussian = erv.Gaussian
+	Uniform  = erv.Uniform
+)
+
+// SeedForOutSlope returns a seed whose out-degree distribution follows
+// a Zipfian law with the given (negative) slope — the Lemma 6 / Table 3
+// control knob gMark lacks.
+func SeedForOutSlope(slope float64) Seed { return erv.SeedForOutSlope(slope) }
+
+// SeedForInSlope is the in-degree analogue.
+func SeedForInSlope(slope float64) Seed { return erv.SeedForInSlope(slope) }
+
+// FitSeed constructs a seed matrix with prescribed out- and in-degree
+// Zipfian slopes (Lemma 6 inverted) and an assortativity knob in
+// (−1, 1) that shifts mass toward (positive) or away from (negative)
+// the diagonal while preserving both marginals.
+func FitSeed(outSlope, inSlope, assortativity float64) (Seed, error) {
+	return skg.FitSeed(outSlope, inSlope, assortativity)
+}

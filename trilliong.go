@@ -1,0 +1,201 @@
+// Package trilliong is a Go implementation of TrillionG (Park & Kim,
+// SIGMOD 2017), a scalable synthetic graph generator based on the
+// recursive vector model.
+//
+// TrillionG generates RMAT/Kronecker-style scale-free graphs one source
+// vertex (one "scope") at a time: the vertex's out-degree is drawn from
+// Theorem 1's normal approximation, and each destination is recovered
+// from a single uniform random value using a precomputed O(log|V|)
+// recursive vector. Working memory is O(d_max) per worker — not O(|E|)
+// as in RMAT — so scale is bounded by disk, not RAM.
+//
+// Quick start:
+//
+//	cfg := trilliong.New(20)            // Scale 20: 2^20 vertices, 16·2^20 edges
+//	stats, err := cfg.GenerateToDir("out", trilliong.ADJ6)
+//
+// The generated graph is a pure function of (Config, MasterSeed): any
+// worker count yields bit-identical output.
+//
+// Rich, schema-driven graphs (multiple node types, edge predicates,
+// independent in-/out-degree distributions) are generated through the
+// extended recursive vector model; see Schema and BibliographySchema.
+package trilliong
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gformat"
+	"repro/internal/recvec"
+	"repro/internal/skg"
+)
+
+// Seed is the 2x2 stochastic seed matrix [A B; C D] (α, β, γ, δ in the
+// paper). Entries must be non-negative and sum to 1.
+type Seed = skg.Seed
+
+// Graph500Seed is the standard benchmark seed [0.57, 0.19; 0.19, 0.05].
+var Graph500Seed = skg.Graph500Seed
+
+// UniformSeed is the Erdős–Rényi seed [0.25, 0.25; 0.25, 0.25].
+var UniformSeed = skg.UniformSeed
+
+// Format selects an output file format.
+type Format = gformat.Format
+
+// Output formats supported by the generator (Section 5): the text edge
+// list, the 6-byte binary adjacency list, and the 6-byte CSR image.
+const (
+	TSV  = gformat.TSV
+	ADJ6 = gformat.ADJ6
+	CSR6 = gformat.CSR6
+)
+
+// Options exposes the recursive-vector ablation switches (Section 4.3).
+// Production() is what you want unless you are reproducing Figure 13.
+type Options = recvec.Options
+
+// Production returns the options with all three performance ideas
+// enabled.
+func Production() Options { return recvec.Production() }
+
+// Config configures one generation run. The zero value is not usable;
+// start from New.
+type Config struct {
+	// Scale is log2 of the vertex count.
+	Scale int
+	// EdgeFactor is |E| / |V| (16 in Graph500 and the paper).
+	EdgeFactor int64
+	// Seed is the stochastic seed matrix.
+	Seed Seed
+	// NoiseParam > 0 enables the NSKG noisy model, which removes the
+	// oscillation of plain SKG degree plots. 0.1 is the standard value;
+	// the admissible maximum is min((A+D)/2, B).
+	NoiseParam float64
+	// MasterSeed selects the pseudo-random universe. Same seed, same
+	// graph — regardless of Workers.
+	MasterSeed uint64
+	// Workers is the number of generation goroutines (0 = GOMAXPROCS).
+	Workers int
+	// Opts are the recursive-vector options (New sets Production).
+	Opts Options
+	// HighPrecision switches the recursive vector to 128-bit floats,
+	// the paper's BigDecimal mode for trillion-scale accuracy.
+	HighPrecision bool
+	// Orientation selects out-edge scopes (AVSO, default: scopes are
+	// source vertices with out-adjacency) or in-edge scopes (AVSI:
+	// scopes are destination vertices with in-adjacency, so part files
+	// hold in-adjacency lists). Section 3.3 of the paper.
+	Orientation Orientation
+	// AllowDuplicates skips duplicate elimination, emitting raw
+	// stochastic trials (Graph500-edge-list semantics — faster but
+	// unrealistic; the paper's realism claim rests on deduping).
+	AllowDuplicates bool
+}
+
+// Orientation selects the scope axis (Section 3.3).
+type Orientation = core.Orientation
+
+// Scope orientations.
+const (
+	AVSO = core.AVSO
+	AVSI = core.AVSI
+)
+
+// New returns the standard configuration at the given scale:
+// Graph500 seed, edge factor 16, production options, master seed 1.
+func New(scale int) Config {
+	c := core.DefaultConfig(scale)
+	return Config{
+		Scale:      c.Scale,
+		EdgeFactor: c.EdgeFactor,
+		Seed:       c.Seed,
+		MasterSeed: c.MasterSeed,
+		Opts:       c.Opts,
+	}
+}
+
+func (c Config) toCore() core.Config {
+	return core.Config{
+		Scale:           c.Scale,
+		EdgeFactor:      c.EdgeFactor,
+		Seed:            c.Seed,
+		NoiseParam:      c.NoiseParam,
+		MasterSeed:      c.MasterSeed,
+		Workers:         c.Workers,
+		Opts:            c.Opts,
+		HighPrecision:   c.HighPrecision,
+		Orientation:     c.Orientation,
+		AllowDuplicates: c.AllowDuplicates,
+	}
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error { return c.toCore().Validate() }
+
+// NumVertices returns |V| = 2^Scale.
+func (c Config) NumVertices() int64 { return c.toCore().NumVertices() }
+
+// NumEdges returns the target edge count |E| = EdgeFactor · |V|.
+func (c Config) NumEdges() int64 { return c.toCore().NumEdges() }
+
+// Stats reports a completed run; see the field docs in internal/core.
+type Stats = core.Stats
+
+// GenerateToDir writes the graph into dir as one part file per worker
+// (part-00000.<ext>, ...) in the given format and returns run
+// statistics. The directory must exist.
+func (c Config) GenerateToDir(dir string, format Format) (Stats, error) {
+	cc := c.toCore()
+	if err := cc.Validate(); err != nil {
+		return Stats{}, err
+	}
+	return core.Generate(cc, core.FileSinks(dir, format, cc.NumVertices()))
+}
+
+// ResumeToDir is GenerateToDir with crash safety: part files are
+// written atomically (temp + rename) and parts that already exist are
+// skipped, so an interrupted run can be re-invoked with the same
+// configuration and directory to finish exactly where it stopped.
+func (c Config) ResumeToDir(dir string, format Format) (Stats, error) {
+	return core.ResumeToDir(c.toCore(), dir, format)
+}
+
+// GenerateFunc streams every generated scope (source vertex and its
+// distinct destinations) to fn instead of writing files. fn is called
+// from multiple workers under a mutex; the dsts slice is only valid for
+// the duration of the call.
+func (c Config) GenerateFunc(fn func(src int64, dsts []int64) error) (Stats, error) {
+	return core.Generate(c.toCore(), core.CallbackSinks(fn))
+}
+
+// Count generates the graph without materializing it anywhere, charging
+// only the byte cost of the given format. Useful for capacity planning
+// and benchmarks.
+func (c Config) Count(format Format) (Stats, error) {
+	return core.Generate(c.toCore(), core.DiscardSinks(format))
+}
+
+// SizeEstimate predicts output volume analytically (no generation);
+// see internal/core.EstimateSize.
+type SizeEstimate = core.SizeEstimate
+
+// EstimateSize predicts the file volume of this configuration in the
+// given format in O(Scale²) arithmetic — e.g. the paper's Scale-38
+// numbers (≈90 TB TSV, ≈25 TB ADJ6) take microseconds to compute.
+func (c Config) EstimateSize(format Format) (SizeEstimate, error) {
+	return core.EstimateSize(c.toCore(), format)
+}
+
+// MaxNoise returns the largest admissible NoiseParam for a seed.
+func MaxNoise(s Seed) float64 { return skg.MaxNoise(s) }
+
+// ParseFormat converts "tsv", "adj6" or "csr6" to a Format.
+func ParseFormat(name string) (Format, error) {
+	f, err := gformat.ParseFormat(name)
+	if err != nil {
+		return 0, fmt.Errorf("trilliong: %w", err)
+	}
+	return f, nil
+}
