@@ -34,24 +34,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var schema *trilliong.Schema
-	switch {
-	case *schemaPath != "":
-		f, err := os.Open(*schemaPath)
-		if err != nil {
-			fatal(err)
-		}
-		schema, err = trilliong.ParseSchema(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	case *builtin == "bibliography":
-		schema = trilliong.BibliographySchema(*vertices, *edges)
-	case *builtin == "socialnetwork":
-		schema = trilliong.SocialNetworkSchema(*vertices, *edges)
-	default:
-		fatal(fmt.Errorf("need -schema FILE or -builtin bibliography|socialnetwork"))
+	schema, err := loadSchema(*schemaPath, *builtin, *vertices, *edges)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *printSchema {
@@ -107,6 +92,29 @@ func main() {
 		total += n
 	}
 	fmt.Printf("%-16s %d edges → %s\n", "total", total, *out)
+}
+
+// loadSchema resolves the -schema / -builtin flag pair: an explicit
+// JSON file wins, otherwise a built-in schema is instantiated at the
+// requested size.
+func loadSchema(schemaPath, builtin string, vertices, edges int64) (*trilliong.Schema, error) {
+	switch {
+	case schemaPath != "":
+		f, err := os.Open(schemaPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trilliong.ParseSchema(f)
+	case builtin == "bibliography":
+		return trilliong.BibliographySchema(vertices, edges), nil
+	case builtin == "socialnetwork":
+		return trilliong.SocialNetworkSchema(vertices, edges), nil
+	case builtin != "":
+		return nil, fmt.Errorf("unknown builtin %q (want bibliography or socialnetwork)", builtin)
+	default:
+		return nil, fmt.Errorf("need -schema FILE or -builtin bibliography|socialnetwork")
+	}
 }
 
 func fatal(err error) {

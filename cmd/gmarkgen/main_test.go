@@ -1,0 +1,74 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadSchemaFromFile exercises the -schema path against the
+// checked-in example configuration.
+func TestLoadSchemaFromFile(t *testing.T) {
+	schema, err := loadSchema(filepath.Join("..", "..", "schemas", "bibliography.json"), "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := schema.Ranges()
+	if len(ranges) != 4 {
+		t.Fatalf("node-type ranges %v", ranges)
+	}
+	seen := make(map[string]bool)
+	for _, r := range ranges {
+		seen[r.Type] = true
+		if r.Hi <= r.Lo {
+			t.Fatalf("empty range %+v", r)
+		}
+	}
+	for _, typ := range []string{"researcher", "paper", "journal", "conference"} {
+		if !seen[typ] {
+			t.Fatalf("node type %q missing from %v", typ, ranges)
+		}
+	}
+}
+
+// TestLoadSchemaBuiltins: both built-ins instantiate at the requested
+// size and actually generate edges.
+func TestLoadSchemaBuiltins(t *testing.T) {
+	for _, builtin := range []string{"bibliography", "socialnetwork"} {
+		schema, err := loadSchema("", builtin, 10_000, 80_000)
+		if err != nil {
+			t.Fatalf("%s: %v", builtin, err)
+		}
+		var edges int64
+		counts, err := schema.Generate(7, func(pred string, src int64, dsts []int64) error {
+			edges += int64(len(dsts))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", builtin, err)
+		}
+		var total int64
+		for _, n := range counts {
+			total += n
+		}
+		if total != edges || edges == 0 {
+			t.Fatalf("%s: counted %d edges, emitted %d", builtin, total, edges)
+		}
+	}
+}
+
+// TestLoadSchemaValidation covers the flag-combination errors.
+func TestLoadSchemaValidation(t *testing.T) {
+	if _, err := loadSchema("", "", 0, 0); err == nil {
+		t.Fatal("no flags accepted")
+	}
+	if _, err := loadSchema("", "nope", 0, 0); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+	if _, err := loadSchema(filepath.Join(t.TempDir(), "missing.json"), "", 0, 0); err == nil {
+		t.Fatal("missing schema file accepted")
+	}
+	// An explicit file wins over -builtin, matching main's precedence.
+	if _, err := loadSchema(filepath.Join("..", "..", "schemas", "socialnetwork.json"), "bibliography", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Command trilliong-serve runs the TrillionG generation service: an
+// HTTP API that streams synthetic graphs on demand. Because a graph is
+// a pure function of (spec, master seed), the service is stateless —
+// any replica streams bit-identical bytes for the same job spec.
+//
+// Usage:
+//
+//	trilliong-serve -addr :8080
+//	trilliong-serve -addr :8080 -max-streams 8 -max-scale 30
+//
+// Then:
+//
+//	curl -d '{"scale":20,"format":"tsv"}' localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/j00000001/stream > graph.tsv
+//	curl localhost:8080/v1/jobs/j00000001        # status / progress
+//	curl localhost:8080/debug/vars               # live counters
+//
+// SIGINT/SIGTERM drains gracefully: new jobs get 503 while in-flight
+// streams finish (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	trilliong "repro"
+)
+
+// options collects the flag values so tests can exercise the plumbing
+// without a listener.
+type options struct {
+	addr         string
+	maxStreams   int
+	maxJobs      int
+	maxWorkers   int
+	maxScale     int
+	depth        int
+	drainTimeout time.Duration
+}
+
+func defineFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.maxStreams, "max-streams", 4, "concurrently streaming jobs")
+	fs.IntVar(&o.maxJobs, "max-jobs", 1024, "job registry capacity")
+	fs.IntVar(&o.maxWorkers, "max-workers", 0, "producer goroutines per job (0 = GOMAXPROCS)")
+	fs.IntVar(&o.maxScale, "max-scale", 34, "largest accepted scale")
+	fs.IntVar(&o.depth, "depth", 32, "per-producer pipeline depth (scopes)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", time.Minute, "graceful shutdown bound")
+	return o
+}
+
+func (o *options) validate() error {
+	if o.addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if o.maxStreams < 1 || o.maxJobs < 1 || o.maxScale < 1 {
+		return fmt.Errorf("-max-streams, -max-jobs and -max-scale must be positive")
+	}
+	if o.drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive")
+	}
+	return nil
+}
+
+// newService builds the service from the flag values.
+func (o *options) newService() *trilliong.Server {
+	return trilliong.NewServer(trilliong.ServerOptions{
+		MaxActiveStreams: o.maxStreams,
+		MaxJobs:          o.maxJobs,
+		MaxWorkersPerJob: o.maxWorkers,
+		MaxScale:         o.maxScale,
+		PipelineDepth:    o.depth,
+	})
+}
+
+func main() {
+	o := defineFlags(flag.CommandLine)
+	flag.Parse()
+	if err := o.validate(); err != nil {
+		fatal(err)
+	}
+	svc := o.newService()
+	httpSrv := &http.Server{Addr: o.addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "trilliong-serve: listening on %s\n", o.addr)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "trilliong-serve: draining...")
+	svc.BeginDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	// http.Server.Shutdown waits for in-flight requests (the streams);
+	// svc.Shutdown then confirms the job bookkeeping is settled.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "trilliong-serve: forced shutdown:", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "trilliong-serve: drain incomplete:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "trilliong-serve: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trilliong-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	trilliong "repro"
+)
+
+func TestFlagDefaultsAndValidation(t *testing.T) {
+	fs := flag.NewFlagSet("trilliong-serve", flag.ContinueOnError)
+	o := defineFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8080" || o.maxStreams != 4 || o.maxScale != 34 {
+		t.Fatalf("defaults %+v", o)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-addr", ""},
+		{"-max-streams", "0"},
+		{"-max-jobs", "-1"},
+		{"-max-scale", "0"},
+		{"-drain-timeout", "0s"},
+	} {
+		fs := flag.NewFlagSet("trilliong-serve", flag.ContinueOnError)
+		o := defineFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.validate(); err == nil {
+			t.Fatalf("flags %v accepted", args)
+		}
+	}
+}
+
+// TestServeScale20EndToEnd drives the built service exactly as the
+// binary wires it: a scale-20 job is streamed over HTTP and must hash
+// identically to the part files GenerateToDir writes for the same
+// configuration, while a second concurrent job streams correctly and
+// a killed client cancels its job (visible in status and expvar).
+func TestServeScale20EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-20 end-to-end in -short mode")
+	}
+
+	// Batch reference: GenerateToDir, parts concatenated in order.
+	cfg := trilliong.New(20)
+	cfg.MasterSeed = 3
+	cfg.Workers = 4
+	dir := t.TempDir()
+	if _, err := cfg.GenerateToDir(dir, trilliong.ADJ6); err != nil {
+		t.Fatal(err)
+	}
+	wantHash := sha256.New()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	var wantBytes int64
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := io.Copy(wantHash, f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBytes += n
+	}
+
+	// The service, built through the same plumbing main uses.
+	fs := flag.NewFlagSet("trilliong-serve", flag.ContinueOnError)
+	o := defineFlags(fs)
+	if err := fs.Parse([]string{"-max-streams", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	svc := o.newService()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	post := func(spec string) string {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST: %d %s", resp.StatusCode, body)
+		}
+		var out struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.ID
+	}
+	state := func(id string) string {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st.State
+	}
+
+	mainID := post(`{"scale":20,"master_seed":3,"format":"adj6"}`)
+	sideID := post(`{"scale":12,"master_seed":3,"format":"tsv"}`)
+	doomedID := post(`{"scale":20,"format":"tsv","workers":2}`)
+
+	// Concurrent second job, verified against the library.
+	sideDone := make(chan error, 1)
+	go func() {
+		var sideWant bytes.Buffer
+		sideCfg := trilliong.New(12)
+		sideCfg.MasterSeed = 3
+		if _, err := sideCfg.StreamRange(context.Background(), &sideWant, trilliong.TSV, 0, sideCfg.NumVertices()); err != nil {
+			sideDone <- err
+			return
+		}
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + sideID + "/stream")
+		if err != nil {
+			sideDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		got, err := io.ReadAll(resp.Body)
+		if err == nil && !bytes.Equal(got, sideWant.Bytes()) {
+			t.Error("concurrent side job bytes differ")
+		}
+		sideDone <- err
+	}()
+
+	// Doomed job: read a sliver, hang up, expect cancellation.
+	dresp, err := http.Get(ts.URL + "/v1/jobs/" + doomedID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(dresp.Body, make([]byte, 1<<15)); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+
+	// Main job: stream and hash.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + mainID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHash := sha256.New()
+	gotBytes, err := io.Copy(gotHash, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBytes != wantBytes {
+		t.Fatalf("streamed %d bytes, batch wrote %d", gotBytes, wantBytes)
+	}
+	if !bytes.Equal(gotHash.Sum(nil), wantHash.Sum(nil)) {
+		t.Fatal("scale-20 stream is not bit-identical to GenerateToDir")
+	}
+	if err := <-sideDone; err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for state(doomedID) != "canceled" {
+		if time.Now().After(deadline) {
+			t.Fatalf("doomed job state %q, want canceled", state(doomedID))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if s := state(mainID); s != "done" {
+		t.Fatalf("main job state %q", s)
+	}
+
+	// The cancellation is visible in the expvar counters.
+	mresp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var vars struct {
+		JobsCanceled int64 `json:"jobs_canceled"`
+		JobsDone     int64 `json:"jobs_done"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.JobsCanceled != 1 || vars.JobsDone != 2 {
+		t.Fatalf("expvar jobs_canceled=%d jobs_done=%d", vars.JobsCanceled, vars.JobsDone)
+	}
+}

@@ -1,9 +1,16 @@
 package trilliong
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -152,6 +159,66 @@ func TestShippedSchemasParse(t *testing.T) {
 		if len(s.EdgeTypes) == 0 {
 			t.Fatalf("%s: empty schema", name)
 		}
+	}
+}
+
+// TestStreamRangeFacade: the public streaming entry point reproduces
+// GenerateToDir's bytes (single part, so the file IS the range).
+func TestStreamRangeFacade(t *testing.T) {
+	cfg := New(10)
+	cfg.Workers = 1
+	dir := t.TempDir()
+	if _, err := cfg.GenerateToDir(dir, TSV); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(dir, "part-00000.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	st, err := cfg.StreamRange(context.Background(), &buf, TSV, 0, cfg.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("streamed %d bytes differ from the %d-byte part file", buf.Len(), len(want))
+	}
+	if st.Edges == 0 || st.BytesWritten != int64(buf.Len()) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestNewServerFacade: the embeddable service answers the job API.
+func TestNewServerFacade(t *testing.T) {
+	srv := NewServer(ServerOptions{MaxActiveStreams: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"scale":10,"format":"tsv"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+	var created struct {
+		StreamURL string `json:"stream_url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := http.Get(ts.URL + created.StreamURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	body, err := io.ReadAll(sresp.Body)
+	if err != nil || len(body) == 0 {
+		t.Fatalf("stream: %v, %d bytes", err, len(body))
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -88,6 +88,14 @@ type MasterConfig struct {
 	Format gformat.Format
 	// AcceptTimeout bounds the wait for registrations (0 = 60s).
 	AcceptTimeout time.Duration
+	// HandshakeTimeout bounds each small gob exchange (Hello read, Job
+	// and Bye writes), so a hung or half-open worker connection cannot
+	// block the master forever (0 = 30s).
+	HandshakeTimeout time.Duration
+	// ResultTimeout bounds the wait for a worker's Done/Fail message,
+	// which spans the worker's whole generation run (0 = unbounded;
+	// set it when an upper bound on generation time is known).
+	ResultTimeout time.Duration
 }
 
 // Summary aggregates a distributed run.
@@ -122,6 +130,9 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if cfg.AcceptTimeout == 0 {
 		cfg.AcceptTimeout = 60 * time.Second
 	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 30 * time.Second
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen: %w", err)
@@ -140,6 +151,32 @@ type peer struct {
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	hi   Hello
+}
+
+// decodeWithin decodes one gob message under a read deadline (0 = no
+// deadline), clearing the deadline afterwards so later exchanges on
+// the same connection start fresh. The encoder/decoder pair must be
+// reused across messages — gob streams type descriptors once — which
+// is why the deadline wraps the existing decoder instead of a new one.
+func decodeWithin(conn net.Conn, dec *gob.Decoder, d time.Duration, v interface{}) error {
+	if d > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+			return err
+		}
+		defer conn.SetReadDeadline(time.Time{})
+	}
+	return dec.Decode(v)
+}
+
+// encodeWithin is decodeWithin's write-side twin.
+func encodeWithin(conn net.Conn, enc *gob.Encoder, d time.Duration, v interface{}) error {
+	if d > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
+			return err
+		}
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	return enc.Encode(v)
 }
 
 // Run accepts registrations, scatters assignments, and aggregates
@@ -164,7 +201,7 @@ func (m *Master) Run() (Summary, error) {
 			return Summary{}, fmt.Errorf("dist: accepting worker %d/%d: %w", len(peers), m.cfg.Workers, err)
 		}
 		p := &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-		if err := p.dec.Decode(&p.hi); err != nil {
+		if err := decodeWithin(conn, p.dec, m.cfg.HandshakeTimeout, &p.hi); err != nil {
 			conn.Close()
 			return Summary{}, fmt.Errorf("dist: reading hello: %w", err)
 		}
@@ -197,7 +234,7 @@ func (m *Master) Run() (Summary, error) {
 			FirstPart: next,
 		}
 		next += p.hi.Threads
-		if err := p.enc.Encode(job); err != nil {
+		if err := encodeWithin(p.conn, p.enc, m.cfg.HandshakeTimeout, job); err != nil {
 			return sum, fmt.Errorf("dist: sending job: %w", err)
 		}
 	}
@@ -210,7 +247,7 @@ func (m *Master) Run() (Summary, error) {
 		go func(p *peer) {
 			defer wg.Done()
 			var msg interface{}
-			err := p.dec.Decode(&msg)
+			err := decodeWithin(p.conn, p.dec, m.cfg.ResultTimeout, &msg)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -239,7 +276,7 @@ func (m *Master) Run() (Summary, error) {
 					firstErr = fmt.Errorf("dist: unexpected message %T", msg)
 				}
 			}
-			p.enc.Encode(Bye{})
+			encodeWithin(p.conn, p.enc, m.cfg.HandshakeTimeout, Bye{})
 		}(p)
 	}
 	wg.Wait()
@@ -258,6 +295,11 @@ type WorkerConfig struct {
 	OutDir string
 	// DialTimeout bounds the connection attempt (0 = 10s).
 	DialTimeout time.Duration
+	// HandshakeTimeout, when set, bounds each gob exchange with the
+	// master (Hello/result writes, Bye read). The Job read is exempt:
+	// it legitimately lasts until every other worker has registered.
+	// 0 leaves the exchanges unbounded.
+	HandshakeTimeout time.Duration
 }
 
 // RunWorker connects to the master, generates its assignment, and
@@ -278,7 +320,7 @@ func RunWorker(cfg WorkerConfig) error {
 	}
 	defer conn.Close()
 	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
-	if err := enc.Encode(Hello{Threads: cfg.Threads}); err != nil {
+	if err := encodeWithin(conn, enc, cfg.HandshakeTimeout, Hello{Threads: cfg.Threads}); err != nil {
 		return fmt.Errorf("dist: hello: %w", err)
 	}
 	var job Job
@@ -303,11 +345,11 @@ func RunWorker(cfg WorkerConfig) error {
 			GenDuration:     st.GenDuration,
 		}
 	}
-	if err := enc.Encode(&reply); err != nil {
+	if err := encodeWithin(conn, enc, cfg.HandshakeTimeout, &reply); err != nil {
 		return fmt.Errorf("dist: sending result: %w", err)
 	}
 	var bye Bye
-	if err := dec.Decode(&bye); err != nil {
+	if err := decodeWithin(conn, dec, cfg.HandshakeTimeout, &bye); err != nil {
 		return fmt.Errorf("dist: waiting for bye: %w", err)
 	}
 	if f, ok := reply.(Fail); ok {

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/gob"
+	"errors"
 	"io"
 	"net"
 	"os"
@@ -294,6 +295,109 @@ func TestWorkerFailurePropagatesToMaster(t *testing.T) {
 	}
 	if werr := <-done; werr != nil {
 		t.Fatalf("fake worker: %v", werr)
+	}
+}
+
+// TestDecodeWithinTimesOut: a peer that never sends blocks the gob
+// decode only until the deadline, and the deadline is cleared
+// afterwards so later exchanges on the connection still work.
+func TestDecodeWithinTimesOut(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	dec := gob.NewDecoder(a)
+	var hi Hello
+	start := time.Now()
+	err := decodeWithin(a, dec, 50*time.Millisecond, &hi)
+	if err == nil {
+		t.Fatal("decode of a silent peer succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline not honoured")
+	}
+	// The deadline must not linger: a message sent now decodes fine.
+	go gob.NewEncoder(b).Encode(Hello{Threads: 3})
+	if err := decodeWithin(a, dec, time.Second, &hi); err != nil || hi.Threads != 3 {
+		t.Fatalf("post-timeout decode: %v %+v", err, hi)
+	}
+}
+
+// TestEncodeWithinTimesOut: net.Pipe is unbuffered, so an encode to a
+// peer that never reads models a zero-window (hung) TCP connection;
+// the write deadline must break the stall.
+func TestEncodeWithinTimesOut(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	enc := gob.NewEncoder(a)
+	err := encodeWithin(a, enc, 50*time.Millisecond, Job{FirstPart: 1})
+	if err == nil {
+		t.Fatal("encode to a stalled peer succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+// TestMasterHandshakeTimeout: a client that connects but never sends
+// Hello (a half-open or hung worker) cannot block the master forever.
+func TestMasterHandshakeTimeout(t *testing.T) {
+	m, err := NewMaster(MasterConfig{
+		Addr: "127.0.0.1:0", Workers: 1, Config: testConfig(8),
+		Format: gformat.ADJ6, HandshakeTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close() // connected, but silent: no Hello ever arrives
+	start := time.Now()
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected handshake timeout error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("master blocked past the handshake deadline")
+	}
+}
+
+// TestMasterResultTimeout: a worker that registers and accepts its job
+// but then hangs mid-generation is bounded by ResultTimeout.
+func TestMasterResultTimeout(t *testing.T) {
+	m, err := NewMaster(MasterConfig{
+		Addr: "127.0.0.1:0", Workers: 1, Config: testConfig(8),
+		Format: gformat.ADJ6, ResultTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	go func() {
+		conn, err := net.Dial("tcp", m.Addr())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+		enc.Encode(Hello{Threads: 1})
+		var job Job
+		dec.Decode(&job)
+		<-release // hang instead of generating
+	}()
+	defer close(release)
+	start := time.Now()
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected result timeout error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("master blocked past the result deadline")
 	}
 }
 

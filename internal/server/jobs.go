@@ -1,0 +1,342 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gformat"
+	"repro/internal/recvec"
+	"repro/internal/skg"
+)
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+// Job lifecycle: pending → running → done | failed | canceled.
+// A pending job may also go straight to canceled.
+const (
+	StatePending  JobState = "pending"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether a state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobSpec is the wire-format generation request accepted by
+// POST /v1/jobs. Zero fields take the generator's defaults: edge
+// factor 16, the Graph500 seed matrix, master seed 1, format "tsv",
+// and the full vertex range [0, 2^scale).
+type JobSpec struct {
+	// Scale is log2 of the vertex count (required).
+	Scale int `json:"scale"`
+	// EdgeFactor is |E|/|V| (0 = 16).
+	EdgeFactor int64 `json:"edge_factor,omitempty"`
+	// Seed is the stochastic seed matrix [a, b, c, d] (nil = Graph500).
+	Seed *[4]float64 `json:"seed,omitempty"`
+	// Noise is the NSKG noise parameter (0 disables, 0.1 standard).
+	Noise float64 `json:"noise,omitempty"`
+	// MasterSeed selects the pseudo-random universe (0 = 1).
+	MasterSeed uint64 `json:"master_seed,omitempty"`
+	// Workers is the producer goroutine count (0 = server default,
+	// capped by the server's per-job limit).
+	Workers int `json:"workers,omitempty"`
+	// Format is "tsv" or "adj6" ("" = "tsv"). CSR6 needs a seekable
+	// sink and cannot stream.
+	Format string `json:"format,omitempty"`
+	// Lo/Hi select a vertex sub-range [Lo, Hi) (nil = full range).
+	Lo *int64 `json:"lo,omitempty"`
+	Hi *int64 `json:"hi,omitempty"`
+	// AllowDuplicates skips in-scope dedup (Graph500-edge-list
+	// semantics).
+	AllowDuplicates bool `json:"allow_duplicates,omitempty"`
+}
+
+// specLimits bounds what a spec may ask of the server.
+type specLimits struct {
+	maxScale         int
+	maxWorkersPerJob int
+}
+
+// compile validates the spec against the limits and resolves it to a
+// core configuration, streamable format and concrete vertex range.
+func (s JobSpec) compile(lim specLimits) (core.Config, gformat.Format, int64, int64, error) {
+	if lim.maxScale > 0 && s.Scale > lim.maxScale {
+		return core.Config{}, 0, 0, 0, fmt.Errorf("server: scale %d exceeds server limit %d", s.Scale, lim.maxScale)
+	}
+	cfg := core.Config{
+		Scale:           s.Scale,
+		EdgeFactor:      s.EdgeFactor,
+		NoiseParam:      s.Noise,
+		MasterSeed:      s.MasterSeed,
+		Workers:         s.Workers,
+		Opts:            recvec.Production(),
+		AllowDuplicates: s.AllowDuplicates,
+	}
+	if cfg.EdgeFactor == 0 {
+		cfg.EdgeFactor = 16
+	}
+	if cfg.MasterSeed == 0 {
+		cfg.MasterSeed = 1
+	}
+	if s.Seed != nil {
+		cfg.Seed = skg.Seed{A: s.Seed[0], B: s.Seed[1], C: s.Seed[2], D: s.Seed[3]}
+	} else {
+		cfg.Seed = skg.Graph500Seed
+	}
+	if cfg.Workers < 0 {
+		return core.Config{}, 0, 0, 0, fmt.Errorf("server: negative workers")
+	}
+	if lim.maxWorkersPerJob > 0 && (cfg.Workers == 0 || cfg.Workers > lim.maxWorkersPerJob) {
+		cfg.Workers = lim.maxWorkersPerJob
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, 0, 0, 0, err
+	}
+	name := s.Format
+	if name == "" {
+		name = "tsv"
+	}
+	format, err := gformat.ParseFormat(name)
+	if err != nil {
+		return core.Config{}, 0, 0, 0, err
+	}
+	if format != gformat.TSV && format != gformat.ADJ6 {
+		return core.Config{}, 0, 0, 0, fmt.Errorf("server: format %v is not streamable (use tsv or adj6)", format)
+	}
+	lo, hi := int64(0), cfg.NumVertices()
+	if s.Lo != nil {
+		lo = *s.Lo
+	}
+	if s.Hi != nil {
+		hi = *s.Hi
+	}
+	if lo < 0 || hi < lo || hi > cfg.NumVertices() {
+		return core.Config{}, 0, 0, 0, fmt.Errorf("server: range [%d, %d) outside [0, %d)", lo, hi, cfg.NumVertices())
+	}
+	return cfg, format, lo, hi, nil
+}
+
+// Job is one registered generation request. Counters are updated live
+// by the streaming goroutine and may be read concurrently.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	cfg    core.Config
+	format gformat.Format
+	lo, hi int64
+
+	created time.Time
+
+	scopes atomic.Int64
+	edges  atomic.Int64
+	bytes  atomic.Int64
+
+	mu       sync.Mutex
+	state    JobState
+	errMsg   string
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+}
+
+// JobStatus is the JSON snapshot served by GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID          string   `json:"id"`
+	State       JobState `json:"state"`
+	Scale       int      `json:"scale"`
+	Format      string   `json:"format"`
+	Lo          int64    `json:"lo"`
+	Hi          int64    `json:"hi"`
+	ScopesDone  int64    `json:"scopes_done"`
+	ScopesTotal int64    `json:"scopes_total"`
+	// Progress is ScopesDone/ScopesTotal in [0, 1].
+	Progress      float64 `json:"progress"`
+	EdgesStreamed int64   `json:"edges_streamed"`
+	BytesStreamed int64   `json:"bytes_streamed"`
+	Error         string  `json:"error,omitempty"`
+	CreatedAt     string  `json:"created_at"`
+	ElapsedMS     int64   `json:"elapsed_ms,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	state, errMsg := j.state, j.errMsg
+	started, finished := j.started, j.finished
+	j.mu.Unlock()
+	st := JobStatus{
+		ID:            j.ID,
+		State:         state,
+		Scale:         j.cfg.Scale,
+		Format:        j.format.String(),
+		Lo:            j.lo,
+		Hi:            j.hi,
+		ScopesDone:    j.scopes.Load(),
+		ScopesTotal:   j.hi - j.lo,
+		EdgesStreamed: j.edges.Load(),
+		BytesStreamed: j.bytes.Load(),
+		Error:         errMsg,
+		CreatedAt:     j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if st.ScopesTotal > 0 {
+		st.Progress = float64(st.ScopesDone) / float64(st.ScopesTotal)
+	} else if state == StateDone {
+		st.Progress = 1
+	}
+	if !started.IsZero() {
+		end := finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.ElapsedMS = end.Sub(started).Milliseconds()
+	}
+	return st
+}
+
+// tryStart transitions pending → running, recording the stream's
+// cancel function so DELETE can abort it. It reports the previous
+// state on failure, making the stream endpoint one-shot.
+func (j *Job) tryStart(cancel context.CancelFunc) (JobState, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StatePending {
+		return j.state, false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return StateRunning, true
+}
+
+// finish records the stream outcome: done on success, canceled when
+// the context was cut (client disconnect, DELETE, or server drain),
+// failed otherwise.
+func (j *Job) finish(err error, ctxErr error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case ctxErr != nil:
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+}
+
+// Cancel aborts the job: a pending job is marked canceled directly, a
+// running one has its stream context cut (the streaming goroutine then
+// records the terminal state). Cancelling a terminal job is a no-op.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	cancel := j.cancel
+	if j.state == StatePending {
+		j.state = StateCanceled
+		j.errMsg = "canceled before streaming"
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// registry holds the server's jobs in creation order, bounded by
+// maxJobs. When full, the oldest terminal job is evicted to admit a
+// new one; if every slot holds a live job, admission fails.
+type registry struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	nextID  uint64
+	maxJobs int
+}
+
+func newRegistry(maxJobs int) *registry {
+	if maxJobs < 1 {
+		maxJobs = 1024
+	}
+	return &registry{jobs: make(map[string]*Job), maxJobs: maxJobs}
+}
+
+// add registers a compiled job and assigns its ID.
+func (r *registry) add(spec JobSpec, cfg core.Config, format gformat.Format, lo, hi int64) (*Job, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.order) >= r.maxJobs && !r.evictLocked() {
+		return nil, fmt.Errorf("server: job registry full (%d live jobs)", len(r.order))
+	}
+	r.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("j%08d", r.nextID),
+		Spec:    spec,
+		cfg:     cfg,
+		format:  format,
+		lo:      lo,
+		hi:      hi,
+		created: time.Now(),
+		state:   StatePending,
+	}
+	r.jobs[j.ID] = j
+	r.order = append(r.order, j.ID)
+	return j, nil
+}
+
+// evictLocked drops the oldest terminal job, reporting success.
+func (r *registry) evictLocked() bool {
+	for i, id := range r.order {
+		if r.jobs[id].State().terminal() {
+			delete(r.jobs, id)
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// get looks a job up by ID.
+func (r *registry) get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// list snapshots every registered job in creation order.
+func (r *registry) list() []JobStatus {
+	r.mu.Lock()
+	jobs := make([]*Job, 0, len(r.order))
+	for _, id := range r.order {
+		jobs = append(jobs, r.jobs[id])
+	}
+	r.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gformat"
+)
+
+func TestJobSpecDefaults(t *testing.T) {
+	cfg, format, lo, hi, err := JobSpec{Scale: 10}.compile(specLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.EdgeFactor != 16 || cfg.MasterSeed != 1 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Seed.A != 0.57 {
+		t.Fatalf("seed default %+v", cfg.Seed)
+	}
+	if format != gformat.TSV || lo != 0 || hi != 1024 {
+		t.Fatalf("format %v range [%d, %d)", format, lo, hi)
+	}
+}
+
+func TestJobSpecExplicit(t *testing.T) {
+	lo, hi := int64(16), int64(48)
+	spec := JobSpec{
+		Scale:      8,
+		EdgeFactor: 4,
+		Seed:       &[4]float64{0.25, 0.25, 0.25, 0.25},
+		Noise:      0.1,
+		MasterSeed: 7,
+		Workers:    2,
+		Format:     "adj6",
+		Lo:         &lo,
+		Hi:         &hi,
+	}
+	cfg, format, clo, chi, err := spec.compile(specLimits{maxScale: 20, maxWorkersPerJob: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != gformat.ADJ6 || clo != 16 || chi != 48 {
+		t.Fatalf("format %v range [%d, %d)", format, clo, chi)
+	}
+	if cfg.Workers != 2 || cfg.NoiseParam != 0.1 || cfg.MasterSeed != 7 {
+		t.Fatalf("cfg %+v", cfg)
+	}
+}
+
+func TestJobSpecRejections(t *testing.T) {
+	neg, big := int64(-1), int64(1<<40)
+	bad := []JobSpec{
+		{Scale: 0},                                 // invalid scale
+		{Scale: 48},                                // above core limit
+		{Scale: 25},                                // above server limit (20 below)
+		{Scale: 10, Format: "csr6"},                // not streamable
+		{Scale: 10, Format: "nope"},                // unknown format
+		{Scale: 10, Lo: &neg},                      // negative lo
+		{Scale: 10, Hi: &big},                      // beyond |V|
+		{Scale: 10, Workers: -1},                   // negative workers
+		{Scale: 10, Seed: &[4]float64{1, 1, 1, 1}}, // seed doesn't sum to 1
+		{Scale: 10, Noise: 0.9},                    // inadmissible noise
+		{Scale: 10, Lo: &big, Hi: &big},            // lo beyond |V|
+	}
+	for i, spec := range bad {
+		if _, _, _, _, err := spec.compile(specLimits{maxScale: 20, maxWorkersPerJob: 4}); err == nil {
+			t.Fatalf("spec %d (%+v) accepted", i, spec)
+		}
+	}
+}
+
+func TestJobSpecWorkerCap(t *testing.T) {
+	cfg, _, _, _, err := JobSpec{Scale: 10, Workers: 64}.compile(specLimits{maxWorkersPerJob: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 4 {
+		t.Fatalf("workers %d, want cap 4", cfg.Workers)
+	}
+	cfg, _, _, _, err = JobSpec{Scale: 10}.compile(specLimits{maxWorkersPerJob: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 4 {
+		t.Fatalf("unset workers %d, want server default 4", cfg.Workers)
+	}
+}
+
+func addJob(t *testing.T, r *registry, spec JobSpec) *Job {
+	t.Helper()
+	cfg, format, lo, hi, err := spec.compile(specLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := r.add(spec, cfg, format, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := newRegistry(8)
+	j := addJob(t, r, JobSpec{Scale: 8})
+	if j.ID != "j00000001" {
+		t.Fatalf("id %q", j.ID)
+	}
+	got, ok := r.get(j.ID)
+	if !ok || got != j {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.get("j99999999"); ok {
+		t.Fatal("phantom job")
+	}
+	st := j.Status()
+	if st.State != StatePending || st.ScopesTotal != 256 || st.Progress != 0 {
+		t.Fatalf("status %+v", st)
+	}
+
+	_, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, ok := j.tryStart(cancel); !ok {
+		t.Fatal("tryStart failed on pending job")
+	}
+	if prev, ok := j.tryStart(cancel); ok || prev != StateRunning {
+		t.Fatalf("second tryStart: ok=%v prev=%v", ok, prev)
+	}
+	j.finish(nil, nil)
+	if j.State() != StateDone {
+		t.Fatalf("state %v", j.State())
+	}
+	// finish is sticky: a late cancel must not overwrite the outcome.
+	j.Cancel()
+	if j.State() != StateDone {
+		t.Fatalf("cancel overwrote terminal state: %v", j.State())
+	}
+	if len(r.list()) != 1 {
+		t.Fatalf("list %v", r.list())
+	}
+}
+
+func TestRegistryCancelPending(t *testing.T) {
+	r := newRegistry(8)
+	j := addJob(t, r, JobSpec{Scale: 8})
+	j.Cancel()
+	if j.State() != StateCanceled {
+		t.Fatalf("state %v", j.State())
+	}
+	if _, ok := j.tryStart(func() {}); ok {
+		t.Fatal("canceled job started")
+	}
+}
+
+func TestRegistryEviction(t *testing.T) {
+	r := newRegistry(2)
+	a := addJob(t, r, JobSpec{Scale: 8})
+	addJob(t, r, JobSpec{Scale: 8})
+
+	// Both slots live: admission must fail.
+	cfg, format, lo, hi, _ := JobSpec{Scale: 8}.compile(specLimits{})
+	if _, err := r.add(JobSpec{Scale: 8}, cfg, format, lo, hi); err == nil {
+		t.Fatal("overfull registry accepted a job")
+	}
+
+	// A terminal job frees its slot for the next admission.
+	a.Cancel()
+	c := addJob(t, r, JobSpec{Scale: 8})
+	if _, ok := r.get(a.ID); ok {
+		t.Fatal("evicted job still listed")
+	}
+	if _, ok := r.get(c.ID); !ok {
+		t.Fatal("new job missing")
+	}
+}

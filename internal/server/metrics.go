@@ -1,0 +1,100 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// metrics aggregates the service-wide live counters served at
+// /debug/vars in expvar format. The variables are instance-local (not
+// published to the global expvar registry) so multiple servers — e.g.
+// in tests — never collide.
+type metrics struct {
+	start time.Time
+
+	jobsCreated  expvar.Int
+	jobsDone     expvar.Int
+	jobsFailed   expvar.Int
+	jobsCanceled expvar.Int
+	jobsRejected expvar.Int
+
+	streamsActive expvar.Int
+	scopesTotal   expvar.Int
+	edgesTotal    expvar.Int
+	bytesTotal    expvar.Int
+
+	// rate state for the edges_per_sec gauge: the rate is the edge
+	// delta between consecutive /debug/vars reads (first read: since
+	// start).
+	rateMu    sync.Mutex
+	lastRead  time.Time
+	lastEdges int64
+	lastRate  float64
+
+	vars *expvar.Map
+}
+
+// newMetrics wires the counters, the derived gauges and the per-job
+// progress snapshot into one expvar map.
+func newMetrics(reg *registry) *metrics {
+	m := &metrics{start: time.Now(), vars: new(expvar.Map).Init()}
+	m.vars.Set("jobs_created", &m.jobsCreated)
+	m.vars.Set("jobs_done", &m.jobsDone)
+	m.vars.Set("jobs_failed", &m.jobsFailed)
+	m.vars.Set("jobs_canceled", &m.jobsCanceled)
+	m.vars.Set("jobs_rejected", &m.jobsRejected)
+	m.vars.Set("streams_active", &m.streamsActive)
+	m.vars.Set("scopes_streamed", &m.scopesTotal)
+	m.vars.Set("edges_streamed", &m.edgesTotal)
+	m.vars.Set("bytes_streamed", &m.bytesTotal)
+	m.vars.Set("uptime_seconds", expvar.Func(func() any {
+		return time.Since(m.start).Seconds()
+	}))
+	m.vars.Set("edges_per_sec", expvar.Func(func() any { return m.edgesPerSec() }))
+	m.vars.Set("jobs", expvar.Func(func() any {
+		type progress struct {
+			State    JobState `json:"state"`
+			Progress float64  `json:"progress"`
+			Edges    int64    `json:"edges"`
+		}
+		out := make(map[string]progress)
+		for _, st := range reg.list() {
+			out[st.ID] = progress{State: st.State, Progress: st.Progress, Edges: st.EdgesStreamed}
+		}
+		return out
+	}))
+	return m
+}
+
+// edgesPerSec returns the streaming rate over the window since the
+// previous read (or since start on the first read). Back-to-back reads
+// inside one millisecond reuse the previous value instead of dividing
+// by ~zero.
+func (m *metrics) edgesPerSec() float64 {
+	m.rateMu.Lock()
+	defer m.rateMu.Unlock()
+	now := time.Now()
+	last := m.lastRead
+	if last.IsZero() {
+		last = m.start
+	}
+	dt := now.Sub(last)
+	if dt < time.Millisecond {
+		return m.lastRate
+	}
+	edges := m.edgesTotal.Value()
+	m.lastRate = float64(edges-m.lastEdges) / dt.Seconds()
+	m.lastRead = now
+	m.lastEdges = edges
+	return m.lastRate
+}
+
+// handler serves the counters as a flat JSON object, the same shape
+// expvar's own /debug/vars handler produces.
+func (m *metrics) handler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write([]byte(m.vars.String()))
+	w.Write([]byte("\n"))
+}

@@ -1,0 +1,311 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gformat"
+)
+
+// Options configures a Server. Zero fields take the documented
+// defaults.
+type Options struct {
+	// MaxActiveStreams bounds concurrently streaming jobs; further
+	// stream requests get 503 with Retry-After (0 = 4).
+	MaxActiveStreams int
+	// MaxJobs bounds the registry; when full, the oldest finished job
+	// is evicted, and POST fails with 503 if every slot is live
+	// (0 = 1024).
+	MaxJobs int
+	// MaxWorkersPerJob caps a job's producer goroutines (0 =
+	// GOMAXPROCS). Jobs that ask for 0 workers get this cap.
+	MaxWorkersPerJob int
+	// MaxScale rejects specs above this scale (0 = 34).
+	MaxScale int
+	// PipelineDepth is each producer's channel capacity (0 = 32).
+	PipelineDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxActiveStreams < 1 {
+		o.MaxActiveStreams = 4
+	}
+	if o.MaxJobs < 1 {
+		o.MaxJobs = 1024
+	}
+	if o.MaxWorkersPerJob < 1 {
+		o.MaxWorkersPerJob = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxScale < 1 {
+		o.MaxScale = 34
+	}
+	if o.PipelineDepth < 1 {
+		o.PipelineDepth = defaultDepth
+	}
+	return o
+}
+
+// Server is the TrillionG generation service: a job registry plus the
+// HTTP API over it. Create one with New, mount Handler on an
+// http.Server, and call Shutdown (after stopping the listener) to
+// drain.
+type Server struct {
+	opts     Options
+	reg      *registry
+	metrics  *metrics
+	mux      *http.ServeMux
+	slots    chan struct{}
+	draining atomic.Bool
+	streams  sync.WaitGroup
+}
+
+// New builds a Server with the given options.
+func New(opts Options) *Server {
+	s := &Server{opts: opts.withDefaults()}
+	s.reg = newRegistry(s.opts.MaxJobs)
+	s.metrics = newMetrics(s.reg)
+	s.slots = make(chan struct{}, s.opts.MaxActiveStreams)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /debug/vars", s.metrics.handler)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain puts the server into draining mode: new jobs and new
+// streams are rejected with 503 while in-flight streams keep running.
+// Status, list and metrics endpoints stay available.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server gracefully: it rejects new work and waits
+// for in-flight streams to finish, or until ctx expires — then every
+// remaining job is cancelled and Shutdown returns ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.streams.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, st := range s.reg.list() {
+			if j, ok := s.reg.get(st.ID); ok {
+				j.Cancel()
+			}
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+// writeJSON emits v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// createResponse answers POST /v1/jobs.
+type createResponse struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	ScopesTotal int64  `json:"scopes_total"`
+	StatusURL   string `json:"status_url"`
+	StreamURL   string `json:"stream_url"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var spec JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	cfg, format, lo, hi, err := spec.compile(specLimits{
+		maxScale:         s.opts.MaxScale,
+		maxWorkersPerJob: s.opts.MaxWorkersPerJob,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, err := s.reg.add(spec, cfg, format, lo, hi)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.metrics.jobsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, createResponse{
+		ID:          job.ID,
+		State:       string(StatePending),
+		ScopesTotal: hi - lo,
+		StatusURL:   "/v1/jobs/" + job.ID,
+		StreamURL:   "/v1/jobs/" + job.ID + "/stream",
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.list())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	job.Cancel()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// flushWriter forwards stream bytes to the client, flushing each chunk
+// onto the wire (the encoders buffer 64 KiB internally, so flushes are
+// amortized) and feeding the live byte counters.
+type flushWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	job     *Job
+	metrics *metrics
+}
+
+func (f *flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if n > 0 {
+		f.job.bytes.Add(int64(n))
+		f.metrics.bytesTotal.Add(int64(n))
+	}
+	if f.flusher != nil {
+		f.flusher.Flush()
+	}
+	return n, err
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	default:
+		s.metrics.jobsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "stream capacity (%d) exhausted", s.opts.MaxActiveStreams)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	if prev, ok := job.tryStart(cancel); !ok {
+		writeError(w, http.StatusConflict, "job %s is %s; streams are one-shot", job.ID, prev)
+		return
+	}
+	s.streams.Add(1)
+	defer s.streams.Done()
+	s.metrics.streamsActive.Add(1)
+	defer s.metrics.streamsActive.Add(-1)
+
+	if job.format == gformat.TSV {
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	w.Header().Set("X-Trilliong-Job-Id", job.ID)
+	w.Header().Set("X-Trilliong-Scopes-Total", fmt.Sprint(job.hi-job.lo))
+
+	// A cancelled stream may be wedged in a Write to a stalled client,
+	// where it would never observe ctx; expiring the write deadline
+	// unblocks it with an error.
+	rc := http.NewResponseController(w)
+	stopPoke := context.AfterFunc(ctx, func() { rc.SetWriteDeadline(time.Now()) })
+	defer stopPoke()
+
+	flusher, _ := w.(http.Flusher)
+	out := &flushWriter{w: w, flusher: flusher, job: job, metrics: s.metrics}
+	_, err := StreamRange(ctx, job.cfg, job.format, job.lo, job.hi, out, StreamOptions{
+		Workers: job.cfg.Workers,
+		Depth:   s.opts.PipelineDepth,
+		OnScope: func(_ int64, edges int) {
+			job.scopes.Add(1)
+			job.edges.Add(int64(edges))
+			s.metrics.scopesTotal.Add(1)
+			s.metrics.edgesTotal.Add(int64(edges))
+		},
+	})
+	job.finish(err, ctx.Err())
+	switch job.State() {
+	case StateDone:
+		s.metrics.jobsDone.Add(1)
+	case StateCanceled:
+		s.metrics.jobsCanceled.Add(1)
+	case StateFailed:
+		s.metrics.jobsFailed.Add(1)
+	}
+	// Headers are already on the wire; an error here can only cut the
+	// stream short, which the client sees as a truncated chunked body.
+}

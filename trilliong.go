@@ -23,11 +23,14 @@
 package trilliong
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/gformat"
 	"repro/internal/recvec"
+	"repro/internal/server"
 	"repro/internal/skg"
 )
 
@@ -187,6 +190,46 @@ type SizeEstimate = core.SizeEstimate
 func (c Config) EstimateSize(format Format) (SizeEstimate, error) {
 	return core.EstimateSize(c.toCore(), format)
 }
+
+// StreamStats reports one completed stream; see the field docs in
+// internal/server.
+type StreamStats = server.StreamStats
+
+// StreamOptions tunes StreamRange; see internal/server.
+type StreamOptions = server.StreamOptions
+
+// StreamRange streams the vertex range [lo, hi) of the graph into w in
+// the given format (TSV or ADJ6; CSR6 needs a seekable sink and cannot
+// stream). The bytes are identical to the corresponding slice of the
+// part files GenerateToDir writes for the same (Config, MasterSeed):
+// scopes appear in vertex order, encoded exactly as the batch writers
+// encode them. Generation runs through a bounded channel pipeline, so
+// a slow w throttles the producers and memory stays O(Workers · d_max)
+// regardless of range size; cancelling ctx aborts the stream.
+func (c Config) StreamRange(ctx context.Context, w io.Writer, format Format, lo, hi int64) (StreamStats, error) {
+	return c.StreamRangeOpts(ctx, w, format, lo, hi, StreamOptions{})
+}
+
+// StreamRangeOpts is StreamRange with explicit pipeline options.
+func (c Config) StreamRangeOpts(ctx context.Context, w io.Writer, format Format, lo, hi int64, opt StreamOptions) (StreamStats, error) {
+	return server.StreamRange(ctx, c.toCore(), format, lo, hi, w, opt)
+}
+
+// Server is the embeddable generation service: an HTTP API (job
+// registry, streaming endpoints, live expvar metrics) over the
+// generator. See docs/SERVER.md for the API reference.
+type Server = server.Server
+
+// ServerOptions configures NewServer; see internal/server.Options.
+type ServerOptions = server.Options
+
+// JobSpec is the generation request accepted by the service's
+// POST /v1/jobs endpoint.
+type JobSpec = server.JobSpec
+
+// NewServer builds a generation service. Mount its Handler on an
+// http.Server; call Shutdown to drain gracefully.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
 
 // MaxNoise returns the largest admissible NoiseParam for a seed.
 func MaxNoise(s Seed) float64 { return skg.MaxNoise(s) }
