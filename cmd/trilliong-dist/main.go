@@ -13,6 +13,15 @@
 //
 // The output is the union of every worker's part files, bit-identical
 // to a single-machine run with the same flags.
+//
+// The runtime is fault-tolerant (see docs/DIST.md): leases held by a
+// worker that disconnects or stalls past the heartbeat deadline are
+// requeued onto surviving workers, workers reconnect with exponential
+// backoff, and a restarted worker pointed at its old -out directory
+// skips part files it already completed. -min-workers permits a
+// degraded start; -parts pins the file layout so runs stay comparable
+// across cluster incarnations; -faultpoints (or TRILLIONG_FAULTPOINTS)
+// arms fault injection for drills.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/faultpoint"
 	"repro/internal/gformat"
 	"repro/internal/skg"
 )
@@ -33,17 +43,34 @@ func main() {
 		role       = flag.String("role", "", "master or worker")
 		listen     = flag.String("listen", ":7070", "master: listen address")
 		workers    = flag.Int("workers", 1, "master: worker processes to wait for")
+		minWorkers = flag.Int("min-workers", 0, "master: start degraded with this many workers once -accept-timeout expires (0 = require -workers)")
+		parts      = flag.Int("parts", 0, "master: pin the part-file count (0 = thread sum at start)")
 		scale      = flag.Int("scale", 20, "master: log2 vertex count")
 		edgeFactor = flag.Int64("edgefactor", 16, "master: edges per vertex")
 		seedSpec   = flag.String("seed", "0.57,0.19,0.19,0.05", "master: seed matrix a,b,c,d")
 		noise      = flag.Float64("noise", 0, "master: NSKG noise parameter")
 		masterSeed = flag.Uint64("masterseed", 1, "master: random master seed")
 		format     = flag.String("format", "adj6", "master: output format")
+		acceptTO   = flag.Duration("accept-timeout", 0, "master: registration wait / idle watchdog (0 = 60s)")
+		heartbeat  = flag.Duration("heartbeat", 0, "master: heartbeat interval workers must keep (0 = 2s)")
+		resultTO   = flag.Duration("result-timeout", 0, "master: max silence on a leased connection (0 = 5 heartbeats)")
+		maxRetries = flag.Int("max-retries", 0, "master: requeues per range before aborting (0 = 2)")
 		masterAddr = flag.String("master", "", "worker: master host:port")
 		threads    = flag.Int("threads", 1, "worker: generation goroutines")
 		out        = flag.String("out", "", "worker: local output directory")
+		maxDials   = flag.Int("max-dials", 0, "worker: consecutive failed connection attempts before giving up (0 = 10)")
+		faults     = flag.String("faultpoints", "", "arm fault injection, e.g. 'dist.worker.scope=crash*1' (also via "+faultpoint.EnvVar+")")
 	)
 	flag.Parse()
+
+	if err := faultpoint.ArmFromEnv(); err != nil {
+		fatal(err)
+	}
+	if *faults != "" {
+		if err := faultpoint.ArmSpecs(*faults); err != nil {
+			fatal(err)
+		}
+	}
 
 	switch *role {
 	case "master":
@@ -61,7 +88,10 @@ func main() {
 		cfg.NoiseParam = *noise
 		cfg.MasterSeed = *masterSeed
 		m, err := dist.NewMaster(dist.MasterConfig{
-			Addr: *listen, Workers: *workers, Config: cfg, Format: f,
+			Addr: *listen, Workers: *workers, MinWorkers: *minWorkers,
+			Parts: *parts, Config: cfg, Format: f,
+			AcceptTimeout: *acceptTO, HeartbeatInterval: *heartbeat,
+			ResultTimeout: *resultTO, MaxRetries: *maxRetries,
 		})
 		if err != nil {
 			fatal(err)
@@ -71,10 +101,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("workers          %d (%d threads)\n", sum.Workers, sum.TotalThreads)
+		fmt.Printf("workers          %d (%d threads, %d parts)\n", sum.Workers, sum.TotalThreads, sum.Parts)
 		fmt.Printf("edges            %d (target %d)\n", sum.Edges, cfg.NumEdges())
 		fmt.Printf("max out-degree   %d\n", sum.MaxDegree)
 		fmt.Printf("bytes written    %d across workers\n", sum.BytesWritten)
+		if sum.Requeues > 0 || sum.SkippedParts > 0 {
+			fmt.Printf("fault recovery   %d requeues, %d parts resumed from disk\n", sum.Requeues, sum.SkippedParts)
+		}
 		fmt.Printf("plan / elapsed   %v / %v\n", sum.PlanDuration, sum.Elapsed)
 		fmt.Printf("peak worker mem  %d bytes\n", sum.PeakBytes)
 	case "worker":
@@ -86,6 +119,7 @@ func main() {
 		}
 		if err := dist.RunWorker(dist.WorkerConfig{
 			MasterAddr: *masterAddr, Threads: *threads, OutDir: *out,
+			MaxDials: *maxDials,
 		}); err != nil {
 			fatal(err)
 		}

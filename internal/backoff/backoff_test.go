@@ -1,0 +1,73 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelayGrowsAndCaps: the no-jitter schedule doubles from Base and
+// saturates at Max.
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 1 * time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second,
+		1 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := p.Delay(-3); got != 100*time.Millisecond {
+		t.Fatalf("Delay(-3) = %v, want Base", got)
+	}
+}
+
+// TestJitterBounds: with Jitter j, every delay lands in [d·(1−j), d].
+func TestJitterBounds(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Second, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		d := p.Delay(3)
+		if d < 500*time.Millisecond || d > time.Second {
+			t.Fatalf("jittered delay %v outside [500ms, 1s]", d)
+		}
+	}
+	// A pinned source makes the jitter exact.
+	p.Rand = func() float64 { return 1 }
+	if d := p.Delay(0); d != 500*time.Millisecond {
+		t.Fatalf("fully jittered delay %v, want 500ms", d)
+	}
+}
+
+// TestZeroValueDefaults: the zero Policy is usable.
+func TestZeroValueDefaults(t *testing.T) {
+	var p Policy
+	if d := p.Delay(0); d != 100*time.Millisecond {
+		t.Fatalf("zero-value Delay(0) = %v, want 100ms", d)
+	}
+	if d := p.Delay(1000); d != 5*time.Second {
+		t.Fatalf("zero-value Delay(1000) = %v, want 5s cap", d)
+	}
+}
+
+// TestSleepStops: Sleep returns early when stop closes.
+func TestSleepStops(t *testing.T) {
+	p := Policy{Base: time.Minute, Max: time.Minute}
+	stop := make(chan struct{})
+	close(stop)
+	start := time.Now()
+	if p.Sleep(0, stop) {
+		t.Fatal("Sleep reported a full sleep despite stop")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Sleep did not return promptly on stop")
+	}
+	quick := Policy{Base: time.Millisecond, Max: time.Millisecond}
+	if !quick.Sleep(0, nil) {
+		t.Fatal("nil stop interrupted the sleep")
+	}
+}

@@ -1,14 +1,53 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
+	"repro/internal/faultpoint"
 	"repro/internal/gformat"
 	"repro/internal/partition"
 )
+
+// PartPath returns the canonical name of global part `idx` in dir:
+// part-<idx>.<ext>. Single-machine runs, ResumeToDir and the
+// distributed workers all agree on this layout, which is what lets a
+// restarted worker recognize work it already finished.
+func PartPath(dir string, format gformat.Format, idx int) string {
+	return filepath.Join(dir, fmt.Sprintf("part-%05d.%s", idx, extOf(format)))
+}
+
+// MissingParts filters (ranges, ids) — parallel slices pairing each
+// vertex range with its global part index — down to the pairs whose
+// part file does not yet exist in dir. A part file present under its
+// final name is complete (the atomic sinks guarantee it), so it can be
+// skipped; this is the resume-skip logic shared by ResumeToDir and the
+// distributed worker.
+func MissingParts(dir string, format gformat.Format, ranges []partition.Range, ids []int) (missing []partition.Range, missingIDs []int) {
+	for i, r := range ranges {
+		if _, err := os.Stat(PartPath(dir, format, ids[i])); err == nil {
+			continue
+		}
+		missing = append(missing, r)
+		missingIDs = append(missingIDs, ids[i])
+	}
+	return missing, missingIDs
+}
+
+// SweepTemps removes leftover part-*.tmp files from a crashed run.
+func SweepTemps(dir string) error {
+	tmps, err := filepath.Glob(filepath.Join(dir, "part-*.tmp"))
+	if err != nil {
+		return err
+	}
+	for _, t := range tmps {
+		os.Remove(t)
+	}
+	return nil
+}
 
 // AtomicFileSinks is FileSinks with crash safety: each part is written
 // to part-<n>.<ext>.tmp and renamed into place only when its writer
@@ -16,33 +55,47 @@ import (
 // This is what makes Resume sound.
 func AtomicFileSinks(dir string, format gformat.Format, numVertices int64, first int) SinkFactory {
 	return func(worker int, r partition.Range) (gformat.Writer, error) {
-		final := filepath.Join(dir, fmt.Sprintf("part-%05d.%s", first+worker, extOf(format)))
-		tmp := final + ".tmp"
-		f, err := os.Create(tmp)
+		return newAtomicWriter(dir, format, numVertices, first+worker)
+	}
+}
+
+// AtomicPartSinks is AtomicFileSinks for an explicit, possibly
+// non-contiguous set of global part indices: worker i writes part
+// ids[i]. The distributed runtime uses it to regenerate exactly the
+// parts a lease names.
+func AtomicPartSinks(dir string, format gformat.Format, numVertices int64, ids []int) SinkFactory {
+	return func(worker int, r partition.Range) (gformat.Writer, error) {
+		return newAtomicWriter(dir, format, numVertices, ids[worker])
+	}
+}
+
+func newAtomicWriter(dir string, format gformat.Format, numVertices int64, idx int) (gformat.Writer, error) {
+	final := PartPath(dir, format, idx)
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	var w gformat.Writer
+	switch format {
+	case gformat.TSV:
+		w = gformat.NewTSVWriter(f)
+	case gformat.ADJ6:
+		w = gformat.NewADJ6Writer(f)
+	case gformat.CSR6:
+		cw, err := gformat.NewCSR6Writer(f, numVertices)
 		if err != nil {
-			return nil, err
-		}
-		var w gformat.Writer
-		switch format {
-		case gformat.TSV:
-			w = gformat.NewTSVWriter(f)
-		case gformat.ADJ6:
-			w = gformat.NewADJ6Writer(f)
-		case gformat.CSR6:
-			cw, err := gformat.NewCSR6Writer(f, numVertices)
-			if err != nil {
-				f.Close()
-				os.Remove(tmp)
-				return nil, err
-			}
-			w = cw
-		default:
 			f.Close()
 			os.Remove(tmp)
-			return nil, fmt.Errorf("core: unsupported format %v", format)
+			return nil, err
 		}
-		return &atomicWriter{Writer: w, f: f, tmp: tmp, final: final}, nil
+		w = cw
+	default:
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("core: unsupported format %v", format)
 	}
+	return &atomicWriter{Writer: w, f: f, tmp: tmp, final: final}, nil
 }
 
 type atomicWriter struct {
@@ -51,7 +104,19 @@ type atomicWriter struct {
 	tmp, final string
 }
 
+func (a *atomicWriter) WriteScope(src int64, dsts []int64) error {
+	if err := faultpoint.Fire("core.sink.write"); err != nil {
+		return err
+	}
+	return a.Writer.WriteScope(src, dsts)
+}
+
 func (a *atomicWriter) Close() error {
+	if err := faultpoint.Fire("core.sink.close"); err != nil {
+		a.f.Close()
+		os.Remove(a.tmp)
+		return err
+	}
 	if err := a.Writer.Close(); err != nil {
 		a.f.Close()
 		os.Remove(a.tmp)
@@ -66,14 +131,95 @@ func (a *atomicWriter) Close() error {
 		os.Remove(a.tmp)
 		return err
 	}
-	return os.Rename(a.tmp, a.final)
+	if err := os.Rename(a.tmp, a.final); err != nil {
+		return err
+	}
+	// The rename is only durable once the directory entry is on disk;
+	// without this a host crash could make a "complete" part vanish and
+	// silently defeat resume.
+	return syncDir(filepath.Dir(a.final))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that cannot sync a directory handle (some network and
+// FUSE mounts) make the fsync fail with EINVAL/ENOTSUP; that is
+// reported, matching the crash-safety contract of the atomic sinks.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// manifestName is the resume manifest's file name; it deliberately does
+// not match the part-* pattern.
+const manifestName = ".trilliong-resume.json"
+
+// resumeManifest records what a directory's part files are a partial
+// output of, so a later resume with a different configuration is
+// detected instead of silently producing a frankengraph: part files
+// only carry a part index, and the same index covers a *different*
+// vertex range whenever Workers (or anything else that shapes the
+// plan) changes.
+type resumeManifest struct {
+	Fingerprint string `json:"fingerprint"`
+	Parts       int    `json:"parts"`
+	Format      string `json:"format"`
+}
+
+// fingerprint condenses everything that determines the part file set:
+// the full configuration (Workers normalized out — parts is recorded
+// separately, and it, not Workers, is what fixes the plan) plus format
+// and part count.
+func fingerprint(cfg Config, format gformat.Format, parts int) string {
+	cfg.Workers = 0
+	return fmt.Sprintf("cfg=%+v format=%v parts=%d", cfg, format, parts)
+}
+
+// checkOrWriteManifest validates dir against an existing manifest or
+// writes one. Directories from runs predating the manifest resume
+// without validation, as before.
+func checkOrWriteManifest(dir string, cfg Config, format gformat.Format, parts int) error {
+	want := resumeManifest{
+		Fingerprint: fingerprint(cfg, format, parts),
+		Parts:       parts,
+		Format:      format.String(),
+	}
+	path := filepath.Join(dir, manifestName)
+	if b, err := os.ReadFile(path); err == nil {
+		var have resumeManifest
+		if err := json.Unmarshal(b, &have); err != nil {
+			return fmt.Errorf("core: resume manifest %s is corrupt: %w", path, err)
+		}
+		if have != want {
+			return fmt.Errorf("core: directory %s holds parts of a different run (manifest: %d %s parts; resume asks for %d %s parts with a different plan) — resume with the original configuration or use a fresh directory",
+				dir, have.Parts, have.Format, want.Parts, want.Format)
+		}
+		return nil
+	}
+	b, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }
 
 // ResumeToDir generates the graph into dir with atomic part files,
 // skipping every part that already exists completely — so an
 // interrupted run continues where it stopped, and a finished run is a
 // no-op. The configuration (including Workers, which fixes the
-// partition) must match the original run; the resulting file set is
+// partition) must match the original run; a manifest written alongside
+// the parts detects a mismatched resume and fails it instead of mixing
+// two partitions in one directory. The resulting file set is
 // bit-identical to an uninterrupted one.
 func ResumeToDir(cfg Config, dir string, format gformat.Format) (Stats, error) {
 	if err := cfg.Validate(); err != nil {
@@ -87,32 +233,23 @@ func ResumeToDir(cfg Config, dir string, format gformat.Format) (Stats, error) {
 	}
 	planDur := time.Since(planStart)
 
-	// Sweep leftover temporaries from a crashed run.
-	tmps, err := filepath.Glob(filepath.Join(dir, "part-*.tmp"))
-	if err != nil {
+	if err := checkOrWriteManifest(dir, cfg, format, len(ranges)); err != nil {
 		return Stats{}, err
 	}
-	for _, t := range tmps {
-		os.Remove(t)
+	// Sweep leftover temporaries from a crashed run.
+	if err := SweepTemps(dir); err != nil {
+		return Stats{}, err
 	}
 
-	var missing []partition.Range
-	var missingIdx []int
-	for i, r := range ranges {
-		name := filepath.Join(dir, fmt.Sprintf("part-%05d.%s", i, extOf(format)))
-		if _, err := os.Stat(name); err == nil {
-			continue
-		}
-		missing = append(missing, r)
-		missingIdx = append(missingIdx, i)
+	ids := make([]int, len(ranges))
+	for i := range ids {
+		ids[i] = i
 	}
+	missing, missingIDs := MissingParts(dir, format, ranges, ids)
 	if len(missing) == 0 {
 		return Stats{PlanDuration: planDur, Elapsed: planDur, Ranges: ranges}, nil
 	}
-	sinks := func(worker int, r partition.Range) (gformat.Writer, error) {
-		return AtomicFileSinks(dir, format, cfg.NumVertices(), missingIdx[worker])(0, r)
-	}
-	st, err := GenerateRanges(cfg, missing, sinks)
+	st, err := GenerateRanges(cfg, missing, AtomicPartSinks(dir, format, cfg.NumVertices(), missingIDs))
 	if err != nil {
 		return st, err
 	}

@@ -1,0 +1,296 @@
+package dist
+
+// Chaos tests: runs disturbed by injected faults must converge to the
+// exact file set of an undisturbed run. CI executes them as their own
+// race-enabled step (go test -race -run Chaos ./internal/dist/...) so
+// a flake here is attributable to the fault-tolerance machinery.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/core"
+	"repro/internal/faultpoint"
+	"repro/internal/gformat"
+)
+
+// chaosMasterConfig pins Parts so the file layout is comparable across
+// runs regardless of which workers survive.
+func chaosMasterConfig(cfg core.Config) MasterConfig {
+	return MasterConfig{
+		Addr:              "127.0.0.1:0",
+		Workers:           3,
+		Parts:             6,
+		Config:            cfg,
+		Format:            gformat.ADJ6,
+		AcceptTimeout:     10 * time.Second,
+		HeartbeatInterval: 100 * time.Millisecond,
+		ResultTimeout:     700 * time.Millisecond,
+		MaxRetries:        8,
+	}
+}
+
+// runChaosCluster runs a 3-worker cluster under whatever faultpoints
+// are armed. Worker errors are tolerated: a worker whose lease was
+// requeued can outlive the run and fail its final reconnect, exactly
+// like a real machine that comes back after the job finished.
+func runChaosCluster(t *testing.T, cfg core.Config) (Summary, []string) {
+	t.Helper()
+	m, err := NewMaster(chaosMasterConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, 3)
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Errors deliberately dropped: see above.
+			RunWorker(WorkerConfig{
+				MasterAddr: m.Addr(),
+				Threads:    2,
+				OutDir:     dirs[i],
+				MaxDials:   30,
+				Backoff:    backoff.Policy{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond},
+			})
+		}(i)
+	}
+	sum, err := m.Run()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	return sum, dirs
+}
+
+// TestChaosKillAndStallBitIdentical is the acceptance scenario: one
+// worker is killed mid-generation (connection dropped from inside the
+// scope-write path; the worker then reconnects, as a restarted process
+// would) and another worker's heartbeat stalls past the deadline. The
+// run must complete on the surviving/restarted workers and the union
+// of part files must be bit-identical to an undisturbed run.
+func TestChaosKillAndStallBitIdentical(t *testing.T) {
+	cfg := testConfig(10)
+
+	// Undisturbed reference run.
+	faultpoint.Reset()
+	_, calmDirs := runChaosCluster(t, cfg)
+	want := readParts(t, calmDirs, "adj6")
+	if len(want) != 6 {
+		t.Fatalf("reference run produced %d parts, want 6", len(want))
+	}
+
+	// Disturbed run: kill one worker mid-generation, stall another's
+	// heartbeat for far longer than the master tolerates.
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.ArmSpecs("dist.worker.scope=drop*1,dist.worker.heartbeat=stall:3s*1"); err != nil {
+		t.Fatal(err)
+	}
+	sum, chaosDirs := runChaosCluster(t, cfg)
+	got := readParts(t, chaosDirs, "adj6")
+
+	if faultpoint.Hits("dist.worker.scope") == 0 {
+		t.Fatal("kill faultpoint never fired")
+	}
+	if sum.Requeues == 0 {
+		t.Fatalf("faults injected but nothing was requeued: %+v", sum)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("disturbed run has %d parts, reference %d", len(got), len(want))
+	}
+	for name, b := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("disturbed run is missing %s", name)
+		}
+		if string(g) != string(b) {
+			t.Fatalf("part %s is not bit-identical to the undisturbed run", name)
+		}
+	}
+}
+
+// TestChaosSinkFailureRetriedElsewhere: an injected write failure makes
+// one lease Fail; the requeued ranges complete on a retry and the file
+// set is still exactly the reference set.
+func TestChaosSinkFailureRetriedElsewhere(t *testing.T) {
+	cfg := testConfig(10)
+
+	faultpoint.Reset()
+	_, calmDirs := runChaosCluster(t, cfg)
+	want := readParts(t, calmDirs, "adj6")
+
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.Arm("core.sink.write", "fail:injected disk failure*2"); err != nil {
+		t.Fatal(err)
+	}
+	sum, chaosDirs := runChaosCluster(t, cfg)
+	got := readParts(t, chaosDirs, "adj6")
+
+	if sum.Requeues == 0 {
+		t.Fatalf("write failures injected but nothing was requeued: %+v", sum)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("disturbed run has %d parts, reference %d", len(got), len(want))
+	}
+	for name, b := range want {
+		if string(got[name]) != string(b) {
+			t.Fatalf("part %s differs from the undisturbed run", name)
+		}
+	}
+}
+
+// helperEnv carries "masterAddr|outDir|threads" to the re-exec'd
+// worker subprocess below.
+const helperEnv = "DIST_TEST_WORKER"
+
+// TestHelperWorkerProcess is not a test: it is the body of the worker
+// subprocess spawned by TestChaosProcessCrashAndRestart, selected via
+// -test.run. An armed crash point genuinely kills this process.
+func TestHelperWorkerProcess(t *testing.T) {
+	spec := os.Getenv(helperEnv)
+	if spec == "" {
+		t.Skip("helper process body; not a test")
+	}
+	fields := strings.Split(spec, "|")
+	if len(fields) != 3 {
+		fmt.Fprintf(os.Stderr, "bad %s=%q\n", helperEnv, spec)
+		os.Exit(2)
+	}
+	if err := faultpoint.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	threads, err := strconv.Atoi(fields[2])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := RunWorker(WorkerConfig{
+		MasterAddr: fields[0], Threads: threads, OutDir: fields[1],
+		MaxDials: 30, Backoff: backoff.Policy{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestChaosProcessCrashAndRestart kills a real worker process with an
+// armed crash point mid-generation, restarts it against the same
+// output directory, and requires the union of part files to be
+// bit-identical to an undisturbed run — the resume path regenerates
+// nothing it can trust and everything it cannot.
+func TestChaosProcessCrashAndRestart(t *testing.T) {
+	cfg := testConfig(10)
+
+	// Undisturbed reference.
+	faultpoint.Reset()
+	mc := MasterConfig{Workers: 2, Parts: 4, Config: cfg, Format: gformat.ADJ6}
+	_, calmDirs := runCluster(t, mc, 2, 2)
+	want := readParts(t, calmDirs, "adj6")
+	if len(want) != 4 {
+		t.Fatalf("reference run produced %d parts, want 4", len(want))
+	}
+
+	m, err := NewMaster(MasterConfig{
+		Addr: "127.0.0.1:0", Workers: 2, Parts: 4, Config: cfg, Format: gformat.ADJ6,
+		AcceptTimeout:     10 * time.Second,
+		HeartbeatInterval: 100 * time.Millisecond,
+		ResultTimeout:     700 * time.Millisecond,
+		MaxRetries:        8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		sum Summary
+		err error
+	}
+	masterCh := make(chan outcome, 1)
+	go func() {
+		s, e := m.Run()
+		masterCh <- outcome{s, e}
+	}()
+
+	// Healthy in-process worker.
+	healthyDir := t.TempDir()
+	var wg sync.WaitGroup
+	var healthyErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		healthyErr = RunWorker(WorkerConfig{
+			MasterAddr: m.Addr(), Threads: 2, OutDir: healthyDir,
+			MaxDials: 30, Backoff: backoff.Policy{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond},
+		})
+	}()
+
+	// Doomed subprocess worker: crashes on its first scope write.
+	crashDir := t.TempDir()
+	spawn := func(armed bool) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=TestHelperWorkerProcess$")
+		cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%s|%s|2", helperEnv, m.Addr(), crashDir))
+		if armed {
+			cmd.Env = append(cmd.Env, faultpoint.EnvVar+"=dist.worker.scope=crash:7*1")
+		} else {
+			cmd.Env = append(cmd.Env, faultpoint.EnvVar+"=")
+		}
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+	doomed := spawn(true)
+	if err := doomed.Start(); err != nil {
+		t.Fatalf("spawning worker process: %v", err)
+	}
+	err = doomed.Wait()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 7 {
+		t.Fatalf("doomed worker exited with %v, want crash code 7", err)
+	}
+
+	// Restart it, pointed at the same directory: it resumes. Its exit
+	// status is irrelevant — the run may already be finished by the
+	// healthy worker, leaving the restart nothing to connect to.
+	restarted := spawn(false)
+	if err := restarted.Start(); err != nil {
+		t.Fatalf("restarting worker process: %v", err)
+	}
+	defer restarted.Wait()
+
+	res := <-masterCh
+	wg.Wait()
+	if res.err != nil || healthyErr != nil {
+		t.Fatalf("errs: %v / %v", res.err, healthyErr)
+	}
+	if res.sum.Requeues == 0 {
+		t.Fatalf("crashed worker's lease was never requeued: %+v", res.sum)
+	}
+
+	got := readParts(t, []string{healthyDir, crashDir}, "adj6")
+	if len(got) != len(want) {
+		t.Fatalf("disturbed run has %d parts, reference %d", len(got), len(want))
+	}
+	for name, b := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("disturbed run is missing %s", name)
+		}
+		if string(g) != string(b) {
+			t.Fatalf("part %s is not bit-identical to the undisturbed run", name)
+		}
+	}
+}

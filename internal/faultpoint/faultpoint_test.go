@@ -1,0 +1,131 @@
+package faultpoint
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDisarmedIsFree: an unarmed point fires nothing.
+func TestDisarmedIsFree(t *testing.T) {
+	Reset()
+	if err := Fire("never.armed"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+}
+
+// TestFailAndBudget: a "*2" point fires twice and then disarms itself.
+func TestFailAndBudget(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("sink.write", "fail:disk on fire*2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		err := Fire("sink.write")
+		if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+			t.Fatalf("fire %d: %v", i, err)
+		}
+	}
+	if err := Fire("sink.write"); err != nil {
+		t.Fatalf("exhausted point still fired: %v", err)
+	}
+	if got := Hits("sink.write"); got != 2 {
+		t.Fatalf("hits = %d, want 2", got)
+	}
+}
+
+// TestDrop returns ErrDrop so callers can match it.
+func TestDrop(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("worker.conn", "drop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fire("worker.conn"); !errors.Is(err, ErrDrop) {
+		t.Fatalf("err = %v, want ErrDrop", err)
+	}
+	// No budget: it keeps firing.
+	if err := Fire("worker.conn"); !errors.Is(err, ErrDrop) {
+		t.Fatalf("second fire = %v, want ErrDrop", err)
+	}
+}
+
+// TestStallSleeps: the stall kind delays and returns nil.
+func TestStallSleeps(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("hb", "stall:50ms*1"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Fire("hb"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("stall slept only %v", d)
+	}
+}
+
+// TestCrashCallsExit: the crash kind goes through the Exit variable.
+func TestCrashCallsExit(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	var code int
+	called := false
+	old := Exit
+	Exit = func(c int) { called, code = true, c }
+	defer func() { Exit = old }()
+	if err := Arm("boom", "crash:3"); err != nil {
+		t.Fatal(err)
+	}
+	Fire("boom")
+	if !called || code != 3 {
+		t.Fatalf("Exit called=%v code=%d", called, code)
+	}
+}
+
+// TestArmSpecsAndEnv: list parsing, List, and env arming.
+func TestArmSpecsAndEnv(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := ArmSpecs("a=drop*1, b=stall:1ms ,"); err != nil {
+		t.Fatal(err)
+	}
+	if got := List(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("List = %v", got)
+	}
+	Disarm("a")
+	Disarm("b")
+	if got := List(); len(got) != 0 {
+		t.Fatalf("List after disarm = %v", got)
+	}
+
+	os.Setenv(EnvVar, "c=fail")
+	defer os.Unsetenv(EnvVar)
+	if err := ArmFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fire("c"); err == nil {
+		t.Fatal("env-armed point did not fire")
+	}
+}
+
+// TestBadSpecs: malformed specs are rejected.
+func TestBadSpecs(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	for _, spec := range []string{"", "explode", "stall", "stall:xyz", "drop:now", "crash:x", "fail*0"} {
+		if err := Arm("p", spec); err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+	if err := ArmSpecs("noequals"); err == nil {
+		t.Fatal("entry without = accepted")
+	}
+	if err := Arm("", "drop"); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}

@@ -19,6 +19,10 @@ type metrics struct {
 	jobsFailed   expvar.Int
 	jobsCanceled expvar.Int
 	jobsRejected expvar.Int
+	// retryAfterSecs is the Retry-After the last over-capacity
+	// rejection advertised — rising values mean clients are hammering
+	// a saturated server.
+	retryAfterSecs expvar.Int
 
 	streamsActive expvar.Int
 	scopesTotal   expvar.Int
@@ -45,6 +49,7 @@ func newMetrics(reg *registry) *metrics {
 	m.vars.Set("jobs_failed", &m.jobsFailed)
 	m.vars.Set("jobs_canceled", &m.jobsCanceled)
 	m.vars.Set("jobs_rejected", &m.jobsRejected)
+	m.vars.Set("retry_after_seconds", &m.retryAfterSecs)
 	m.vars.Set("streams_active", &m.streamsActive)
 	m.vars.Set("scopes_streamed", &m.scopesTotal)
 	m.vars.Set("edges_streamed", &m.edgesTotal)

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/gformat"
 )
 
@@ -65,11 +66,19 @@ type Server struct {
 	slots    chan struct{}
 	draining atomic.Bool
 	streams  sync.WaitGroup
+
+	// rejectStreak counts consecutive over-capacity stream rejections;
+	// retryPolicy turns the streak into the advertised Retry-After.
+	rejectStreak atomic.Int64
+	retryPolicy  backoff.Policy
 }
 
 // New builds a Server with the given options.
 func New(opts Options) *Server {
-	s := &Server{opts: opts.withDefaults()}
+	s := &Server{
+		opts:        opts.withDefaults(),
+		retryPolicy: backoff.Policy{Base: time.Second, Max: 30 * time.Second},
+	}
 	s.reg = newRegistry(s.opts.MaxJobs)
 	s.metrics = newMetrics(s.reg)
 	s.slots = make(chan struct{}, s.opts.MaxActiveStreams)
@@ -251,10 +260,20 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case s.slots <- struct{}{}:
+		s.rejectStreak.Store(0)
 		defer func() { <-s.slots }()
 	default:
 		s.metrics.jobsRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		// The suggested Retry-After grows with the rejection streak —
+		// the same exponential policy dist workers use to redial the
+		// master — so a saturated server sheds hot-looping clients.
+		streak := s.rejectStreak.Add(1)
+		delay := int64(s.retryPolicy.Delay(int(streak-1)) / time.Second)
+		if delay < 1 {
+			delay = 1
+		}
+		s.metrics.retryAfterSecs.Set(delay)
+		w.Header().Set("Retry-After", fmt.Sprint(delay))
 		writeError(w, http.StatusServiceUnavailable, "stream capacity (%d) exhausted", s.opts.MaxActiveStreams)
 		return
 	}
