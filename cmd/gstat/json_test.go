@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gformat"
+	"repro/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// genFixture writes the scale-10 reference graph (Graph500 seed,
+// master seed 1) as one ADJ6 part and returns its path. The graph is a
+// pure function of the config, so the bytes — and therefore the stats
+// — are identical on every run and platform.
+func genFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := core.DefaultConfig(10)
+	cfg.Workers = 1
+	if _, err := core.Generate(cfg, core.FileSinks(dir, gformat.ADJ6, cfg.NumVertices())); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "part-00000.adj6")
+}
+
+// TestJSONReportGolden pins the -json output for the reference graph.
+// Refresh with: go test ./cmd/gstat -run Golden -update
+func TestJSONReportGolden(t *testing.T) {
+	counter := stats.NewDegreeCounter()
+	edges, err := ingest(genFixture(t), gformat.ADJ6, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := buildReport(edges, counter.OutHist(), counter.InHist(), counter.OutDegrees())
+	got, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "report_scale10.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("-json report drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestJSONReportShape: field-level sanity independent of the golden
+// bytes, so a legitimate regeneration of the golden file still has to
+// look like a scale-10 power-law graph.
+func TestJSONReportShape(t *testing.T) {
+	counter := stats.NewDegreeCounter()
+	edges, err := ingest(genFixture(t), gformat.ADJ6, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := buildReport(edges, counter.OutHist(), counter.InHist(), counter.OutDegrees())
+	if r.Edges != edges || r.Edges == 0 {
+		t.Fatalf("edges %d vs ingested %d", r.Edges, edges)
+	}
+	if r.OutVertices == 0 || r.InVertices == 0 || r.MaxOutDegree == 0 {
+		t.Fatalf("degenerate report %+v", r)
+	}
+	if r.OutPowerLaw == nil || r.OutPowerLaw.Slope >= 0 {
+		t.Fatalf("out power-law fit %+v; want a negative slope", r.OutPowerLaw)
+	}
+	var back jsonReport
+	b, _ := json.Marshal(r)
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		// Pointer fields compare by address; compare the values.
+		if back.Edges != r.Edges || *back.OutPowerLaw != *r.OutPowerLaw {
+			t.Fatalf("round trip changed the report: %+v vs %+v", back, r)
+		}
+	}
+}
+
+// TestFitDropsNaN: an undefined fit is omitted, not emitted as NaN
+// (which encoding/json cannot marshal).
+func TestFitDropsNaN(t *testing.T) {
+	// A single-degree histogram has no slope to fit.
+	h := stats.Hist{1: 3}
+	r := buildReport(3, h, h, []int64{1, 1, 1})
+	if _, err := json.Marshal(r); err != nil {
+		t.Fatalf("report with undefined fits failed to marshal: %v", err)
+	}
+}

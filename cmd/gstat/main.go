@@ -5,24 +5,92 @@
 //
 //	gstat -format adj6 out/part-*.adj6
 //	gstat -format tsv -plot out.tsv       # also dump degree/count pairs
+//	gstat -format adj6 -json out/part-*.adj6 | jq .out_power_law.slope
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/gformat"
 	"repro/internal/stats"
 )
 
+// slopeFit is a fitted (slope, r²) pair in the JSON report; it is
+// omitted entirely when the fit is undefined (NaN).
+type slopeFit struct {
+	Slope float64 `json:"slope"`
+	R2    float64 `json:"r2"`
+}
+
+// jsonReport is gstat's -json output. Floats are rounded to 4 decimals
+// so the report is byte-stable across runs: the slope fits sum floats
+// in map-iteration order, which perturbs the last bits from run to run.
+type jsonReport struct {
+	Edges          int64     `json:"edges"`
+	OutVertices    int64     `json:"out_vertices"`
+	InVertices     int64     `json:"in_vertices"`
+	MaxOutDegree   int64     `json:"max_out_degree"`
+	MaxInDegree    int64     `json:"max_in_degree"`
+	OutPowerLaw    *slopeFit `json:"out_power_law,omitempty"`
+	InPowerLaw     *slopeFit `json:"in_power_law,omitempty"`
+	OutZipf        *slopeFit `json:"out_zipf,omitempty"`
+	OutOscillation float64   `json:"out_oscillation"`
+	InOscillation  float64   `json:"in_oscillation"`
+}
+
+// jsonCompare is the -json shape of a -compare run.
+type jsonCompare struct {
+	KSOut float64 `json:"ks_out_degree"`
+	KSIn  float64 `json:"ks_in_degree"`
+}
+
+// round4 rounds to 4 decimals, the precision of the text output.
+func round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }
+
+// fit wraps a (slope, r²) pair, nil when the slope is NaN.
+func fit(slope, r2 float64) *slopeFit {
+	if math.IsNaN(slope) {
+		return nil
+	}
+	return &slopeFit{Slope: round4(slope), R2: round4(r2)}
+}
+
+// buildReport assembles the -json document from the counted degrees.
+func buildReport(edges int64, out, in stats.Hist, outDegrees []int64) jsonReport {
+	r := jsonReport{
+		Edges:          edges,
+		OutVertices:    out.Vertices(),
+		InVertices:     in.Vertices(),
+		MaxOutDegree:   out.MaxDegree(),
+		MaxInDegree:    in.MaxDegree(),
+		OutOscillation: round4(stats.Oscillation(out)),
+		InOscillation:  round4(stats.Oscillation(in)),
+	}
+	r.OutPowerLaw = fit(stats.PowerLawSlope(out))
+	r.InPowerLaw = fit(stats.PowerLawSlope(in))
+	r.OutZipf = fit(stats.ZipfSlope(outDegrees))
+	return r
+}
+
+// emitJSON prints v as indented JSON on stdout.
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
 func main() {
 	var (
-		format  = flag.String("format", "adj6", "input format: tsv, adj6 or csr6")
-		plot    = flag.Bool("plot", false, "print out-degree plot points (degree<TAB>count)")
-		inadj   = flag.Bool("inadj", false, "input stores in-adjacency lists (AVS-I output): swap in/out")
-		compare = flag.String("compare", "", "second graph (same format): print KS distances instead of stats")
+		format   = flag.String("format", "adj6", "input format: tsv, adj6 or csr6")
+		plot     = flag.Bool("plot", false, "print out-degree plot points (degree<TAB>count)")
+		inadj    = flag.Bool("inadj", false, "input stores in-adjacency lists (AVS-I output): swap in/out")
+		compare  = flag.String("compare", "", "second graph (same format): print KS distances instead of stats")
+		jsonFlag = flag.Bool("json", false, "emit the report as JSON instead of text")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -56,9 +124,17 @@ func main() {
 		if *inadj {
 			oo, oi = oi, oo
 		}
+		if *jsonFlag {
+			emitJSON(jsonCompare{KSOut: round4(stats.KS(out, oo)), KSIn: round4(stats.KS(in, oi))})
+			return
+		}
 		fmt.Printf("KS out-degree          %.4f\n", stats.KS(out, oo))
 		fmt.Printf("KS in-degree           %.4f\n", stats.KS(in, oi))
 		fmt.Println("(0 = identical distributions; > ~0.1 = clearly different)")
+		return
+	}
+	if *jsonFlag {
+		emitJSON(buildReport(edges, out, in, counter.OutDegrees()))
 		return
 	}
 	fmt.Printf("edges                  %d\n", edges)

@@ -1,0 +1,289 @@
+// Command trilliong-bench sweeps the generator across (scale,
+// edge-factor, format, workers) combinations and writes a
+// machine-readable report. Every number in the report is pulled from
+// the run's telemetry registry — the same counters and stage tracers
+// /debug/vars and /metrics serve — so the bench doubles as an
+// end-to-end check that the observability pipeline measures what the
+// generator actually does.
+//
+// Usage:
+//
+//	trilliong-bench -scales 20,22 -formats tsv,adj6 -workers 1,4
+//	trilliong-bench -short                  # CI smoke sweep (seconds)
+//	trilliong-bench -validate BENCH_report.json
+//
+// The report lands in -out (default BENCH_report.json); -validate
+// checks an existing report against the schema and sanity bounds
+// (non-empty sweep, positive edges/sec) and exits non-zero on
+// violation, which is how CI gates on it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gformat"
+	"repro/internal/telemetry"
+)
+
+// benchSchema identifies the report layout; bump on breaking change.
+const benchSchema = "trilliong-bench/v1"
+
+// benchStage is the registry stage that times each full run; the
+// report's edges/sec is the registry's edge counter over this stage's
+// seconds, so the headline number is registry-derived end to end.
+const benchStage = "bench.run"
+
+// report is the BENCH_report.json document.
+type report struct {
+	Schema    string    `json:"schema"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	CPUs      int       `json:"cpus"`
+	Started   time.Time `json:"started"`
+	Runs      []run     `json:"runs"`
+}
+
+// run is one swept combination.
+type run struct {
+	Scale      int    `json:"scale"`
+	EdgeFactor int64  `json:"edge_factor"`
+	Format     string `json:"format"`
+	Workers    int    `json:"workers"`
+
+	// Registry-derived outcome.
+	Scopes      int64   `json:"scopes"`
+	Edges       int64   `json:"edges"`
+	Attempts    int64   `json:"attempts"`
+	Bytes       int64   `json:"bytes"`
+	Seconds     float64 `json:"seconds"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+
+	Stages map[string]telemetry.StageSnapshot `json:"stages"`
+}
+
+// sweep enumerates the cross product and benches each combination.
+func sweep(scales []int, edgeFactors []int64, formats []gformat.Format, workers []int, masterSeed uint64) ([]run, error) {
+	var runs []run
+	for _, s := range scales {
+		for _, ef := range edgeFactors {
+			for _, f := range formats {
+				for _, w := range workers {
+					r, err := benchOne(s, ef, f, w, masterSeed)
+					if err != nil {
+						return nil, fmt.Errorf("scale %d ef %d %s workers %d: %w", s, ef, formatName(f), w, err)
+					}
+					fmt.Fprintf(os.Stderr, "  scale %2d  ef %3d  %-4s  workers %2d  %12d edges  %10.0f edges/s\n",
+						r.Scale, r.EdgeFactor, r.Format, r.Workers, r.Edges, r.EdgesPerSec)
+					runs = append(runs, r)
+				}
+			}
+		}
+	}
+	return runs, nil
+}
+
+// benchOne runs one combination into a fresh registry and reads the
+// result back out of the registry alone.
+func benchOne(scale int, edgeFactor int64, format gformat.Format, workers int, masterSeed uint64) (run, error) {
+	cfg := core.DefaultConfig(scale)
+	cfg.EdgeFactor = edgeFactor
+	cfg.Workers = workers
+	cfg.MasterSeed = masterSeed
+
+	tel := telemetry.NewRegistry()
+	span := tel.Stage(benchStage).Span()
+	_, err := core.GenerateObserved(cfg, core.ObservedSinks(core.DiscardSinks(format), format, tel), tel)
+	if err != nil {
+		return run{}, err
+	}
+	edges := tel.CounterValue(core.MetricEdges)
+	span.End(edges)
+
+	bench := tel.StageSnapshot(benchStage)
+	r := run{
+		Scale:      scale,
+		EdgeFactor: edgeFactor,
+		Format:     formatName(format),
+		Workers:    workers,
+		Scopes:     tel.CounterValue(core.MetricScopes),
+		Edges:      edges,
+		Attempts:   tel.CounterValue(core.MetricAttempts),
+		Bytes:      tel.CounterValue(core.MetricBytes),
+		Seconds:    bench.Seconds,
+		Stages:     tel.Stages(),
+	}
+	if r.Seconds > 0 {
+		r.EdgesPerSec = float64(r.Edges) / r.Seconds
+	}
+	return r, nil
+}
+
+// validateReport enforces the schema and the sanity bounds CI gates on.
+func validateReport(r report) error {
+	if r.Schema != benchSchema {
+		return fmt.Errorf("schema %q, want %q", r.Schema, benchSchema)
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("report has no runs")
+	}
+	for i, run := range r.Runs {
+		where := fmt.Sprintf("run %d (scale %d %s)", i, run.Scale, run.Format)
+		if run.Scale < 1 || run.EdgeFactor < 1 || run.Workers < 1 {
+			return fmt.Errorf("%s: non-positive sweep parameters", where)
+		}
+		if _, err := gformat.ParseFormat(run.Format); err != nil {
+			return fmt.Errorf("%s: %v", where, err)
+		}
+		if run.Edges <= 0 || run.Scopes <= 0 || run.Bytes <= 0 {
+			return fmt.Errorf("%s: empty outcome (%d edges, %d scopes, %d bytes)", where, run.Edges, run.Scopes, run.Bytes)
+		}
+		if run.Seconds <= 0 || run.EdgesPerSec <= 0 {
+			return fmt.Errorf("%s: edges/sec is zero (%g over %gs)", where, run.EdgesPerSec, run.Seconds)
+		}
+		if len(run.Stages) == 0 {
+			return fmt.Errorf("%s: no stage snapshots", where)
+		}
+	}
+	return nil
+}
+
+func formatName(f gformat.Format) string {
+	switch f {
+	case gformat.TSV:
+		return "tsv"
+	case gformat.ADJ6:
+		return "adj6"
+	case gformat.CSR6:
+		return "csr6"
+	}
+	return fmt.Sprintf("format(%d)", int(f))
+}
+
+func parseInts(spec string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("list entry %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(spec string) ([]int64, error) {
+	vs, err := parseInts(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(vs))
+	for i, v := range vs {
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
+func parseFormats(spec string) ([]gformat.Format, error) {
+	var out []gformat.Format
+	for _, p := range strings.Split(spec, ",") {
+		f, err := gformat.ParseFormat(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		scales      = flag.String("scales", "16,18", "comma-separated log2 vertex counts")
+		edgeFactors = flag.String("edgefactors", "16", "comma-separated edges-per-vertex values")
+		formats     = flag.String("formats", "tsv,adj6,csr6", "comma-separated output formats")
+		workers     = flag.String("workers", "1,0", "comma-separated worker counts (0 = GOMAXPROCS)")
+		masterSeed  = flag.Uint64("masterseed", 1, "random master seed")
+		out         = flag.String("out", "BENCH_report.json", "report path")
+		short       = flag.Bool("short", false, "CI smoke sweep: scale 12, tsv+adj6, 2 workers")
+		validate    = flag.String("validate", "", "validate an existing report and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		b, err := os.ReadFile(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		var r report
+		if err := json.Unmarshal(b, &r); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *validate, err))
+		}
+		if err := validateReport(r); err != nil {
+			fatal(fmt.Errorf("%s: %w", *validate, err))
+		}
+		fmt.Printf("%s: valid (%d runs)\n", *validate, len(r.Runs))
+		return
+	}
+
+	if *short {
+		*scales, *edgeFactors, *formats, *workers = "12", "16", "tsv,adj6", "2"
+	}
+	sc, err := parseInts(*scales)
+	if err != nil {
+		fatal(err)
+	}
+	efs, err := parseInt64s(*edgeFactors)
+	if err != nil {
+		fatal(err)
+	}
+	fs, err := parseFormats(*formats)
+	if err != nil {
+		fatal(err)
+	}
+	ws, err := parseInts(*workers)
+	if err != nil {
+		fatal(err)
+	}
+	for i, w := range ws {
+		if w == 0 {
+			ws[i] = runtime.GOMAXPROCS(0)
+		}
+	}
+
+	r := report{
+		Schema:    benchSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Started:   time.Now().UTC(),
+	}
+	fmt.Fprintf(os.Stderr, "trilliong-bench: %d combinations\n", len(sc)*len(efs)*len(fs)*len(ws))
+	if r.Runs, err = sweep(sc, efs, fs, ws, *masterSeed); err != nil {
+		fatal(err)
+	}
+	if err := validateReport(r); err != nil {
+		fatal(fmt.Errorf("self-check: %w", err))
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "trilliong-bench: wrote %s (%d runs)\n", *out, len(r.Runs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trilliong-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gformat"
+)
+
+// TestSweepProducesValidReport: a small sweep yields a report that
+// passes its own validation, with registry-derived numbers.
+func TestSweepProducesValidReport(t *testing.T) {
+	runs, err := sweep([]int{8}, []int64{8}, []gformat.Format{gformat.TSV, gformat.ADJ6}, []int{2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := report{Schema: benchSchema, Runs: runs}
+	if err := validateReport(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("sweep produced %d runs, want 2", len(runs))
+	}
+	for _, run := range runs {
+		if run.Scopes != 1<<8 {
+			t.Fatalf("run %+v: scopes %d, want %d", run, run.Scopes, 1<<8)
+		}
+		if run.EdgesPerSec <= 0 {
+			t.Fatalf("run %+v: zero edges/sec", run)
+		}
+		if _, ok := run.Stages[benchStage]; !ok {
+			t.Fatalf("run %+v: missing bench stage", run)
+		}
+	}
+	// Same seed, same config: both formats generate the same graph, so
+	// edge counts agree while byte costs differ by format.
+	if runs[0].Edges != runs[1].Edges {
+		t.Fatalf("edge counts differ across formats: %d vs %d", runs[0].Edges, runs[1].Edges)
+	}
+	if runs[0].Bytes == runs[1].Bytes {
+		t.Fatalf("tsv and adj6 charged identical bytes (%d); byte counters are not per-format", runs[0].Bytes)
+	}
+}
+
+// TestValidateReportRejects: the CI gate must catch the failure shapes
+// it exists for.
+func TestValidateReportRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*report)
+	}{
+		{"wrong schema", func(r *report) { r.Schema = "bogus/v9" }},
+		{"no runs", func(r *report) { r.Runs = nil }},
+		{"zero edges per sec", func(r *report) { r.Runs[0].EdgesPerSec = 0 }},
+		{"zero edges", func(r *report) { r.Runs[0].Edges = 0 }},
+		{"unknown format", func(r *report) { r.Runs[0].Format = "parquet" }},
+		{"no stages", func(r *report) { r.Runs[0].Stages = nil }},
+	}
+	for _, tc := range cases {
+		runs, err := sweep([]int{6}, []int64{4}, []gformat.Format{gformat.TSV}, []int{1}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := report{Schema: benchSchema, Runs: runs}
+		tc.mutate(&r)
+		if err := validateReport(r); err == nil {
+			t.Fatalf("%s: validation passed", tc.name)
+		}
+	}
+}
+
+// TestReportRoundTrip: the written JSON parses back into an equivalent,
+// still-valid report — what the CI validate step consumes.
+func TestReportRoundTrip(t *testing.T) {
+	runs, err := sweep([]int{6}, []int64{4}, []gformat.Format{gformat.ADJ6}, []int{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := report{Schema: benchSchema, GoVersion: "go", GOOS: "linux", GOARCH: "amd64", CPUs: 1, Runs: runs}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_report.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateReport(back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Runs[0].Edges != r.Runs[0].Edges {
+		t.Fatalf("edges changed in round trip: %d vs %d", back.Runs[0].Edges, r.Runs[0].Edges)
+	}
+}

@@ -27,6 +27,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -36,32 +39,42 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
 	"repro/internal/skg"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		role       = flag.String("role", "", "master or worker")
-		listen     = flag.String("listen", ":7070", "master: listen address")
-		workers    = flag.Int("workers", 1, "master: worker processes to wait for")
-		minWorkers = flag.Int("min-workers", 0, "master: start degraded with this many workers once -accept-timeout expires (0 = require -workers)")
-		parts      = flag.Int("parts", 0, "master: pin the part-file count (0 = thread sum at start)")
-		scale      = flag.Int("scale", 20, "master: log2 vertex count")
-		edgeFactor = flag.Int64("edgefactor", 16, "master: edges per vertex")
-		seedSpec   = flag.String("seed", "0.57,0.19,0.19,0.05", "master: seed matrix a,b,c,d")
-		noise      = flag.Float64("noise", 0, "master: NSKG noise parameter")
-		masterSeed = flag.Uint64("masterseed", 1, "master: random master seed")
-		format     = flag.String("format", "adj6", "master: output format")
-		acceptTO   = flag.Duration("accept-timeout", 0, "master: registration wait / idle watchdog (0 = 60s)")
-		heartbeat  = flag.Duration("heartbeat", 0, "master: heartbeat interval workers must keep (0 = 2s)")
-		resultTO   = flag.Duration("result-timeout", 0, "master: max silence on a leased connection (0 = 5 heartbeats)")
-		maxRetries = flag.Int("max-retries", 0, "master: requeues per range before aborting (0 = 2)")
-		masterAddr = flag.String("master", "", "worker: master host:port")
-		threads    = flag.Int("threads", 1, "worker: generation goroutines")
-		out        = flag.String("out", "", "worker: local output directory")
-		maxDials   = flag.Int("max-dials", 0, "worker: consecutive failed connection attempts before giving up (0 = 10)")
-		faults     = flag.String("faultpoints", "", "arm fault injection, e.g. 'dist.worker.scope=crash*1' (also via "+faultpoint.EnvVar+")")
+		role        = flag.String("role", "", "master or worker")
+		listen      = flag.String("listen", ":7070", "master: listen address")
+		workers     = flag.Int("workers", 1, "master: worker processes to wait for")
+		minWorkers  = flag.Int("min-workers", 0, "master: start degraded with this many workers once -accept-timeout expires (0 = require -workers)")
+		parts       = flag.Int("parts", 0, "master: pin the part-file count (0 = thread sum at start)")
+		scale       = flag.Int("scale", 20, "master: log2 vertex count")
+		edgeFactor  = flag.Int64("edgefactor", 16, "master: edges per vertex")
+		seedSpec    = flag.String("seed", "0.57,0.19,0.19,0.05", "master: seed matrix a,b,c,d")
+		noise       = flag.Float64("noise", 0, "master: NSKG noise parameter")
+		masterSeed  = flag.Uint64("masterseed", 1, "master: random master seed")
+		format      = flag.String("format", "adj6", "master: output format")
+		acceptTO    = flag.Duration("accept-timeout", 0, "master: registration wait / idle watchdog (0 = 60s)")
+		heartbeat   = flag.Duration("heartbeat", 0, "master: heartbeat interval workers must keep (0 = 2s)")
+		resultTO    = flag.Duration("result-timeout", 0, "master: max silence on a leased connection (0 = 5 heartbeats)")
+		maxRetries  = flag.Int("max-retries", 0, "master: requeues per range before aborting (0 = 2)")
+		masterAddr  = flag.String("master", "", "worker: master host:port")
+		threads     = flag.Int("threads", 1, "worker: generation goroutines")
+		out         = flag.String("out", "", "worker: local output directory")
+		maxDials    = flag.Int("max-dials", 0, "worker: consecutive failed connection attempts before giving up (0 = 10)")
+		faults      = flag.String("faultpoints", "", "arm fault injection, e.g. 'dist.worker.scope=crash*1' (also via "+faultpoint.EnvVar+")")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address")
+		withPprof   = flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	tel := telemetry.NewRegistry()
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr, tel, *withPprof); err != nil {
+			fatal(err)
+		}
+	}
 
 	if err := faultpoint.ArmFromEnv(); err != nil {
 		fatal(err)
@@ -92,6 +105,7 @@ func main() {
 			Parts: *parts, Config: cfg, Format: f,
 			AcceptTimeout: *acceptTO, HeartbeatInterval: *heartbeat,
 			ResultTimeout: *resultTO, MaxRetries: *maxRetries,
+			Telemetry: tel,
 		})
 		if err != nil {
 			fatal(err)
@@ -119,7 +133,7 @@ func main() {
 		}
 		if err := dist.RunWorker(dist.WorkerConfig{
 			MasterAddr: *masterAddr, Threads: *threads, OutDir: *out,
-			MaxDials: *maxDials,
+			MaxDials: *maxDials, Telemetry: tel,
 		}); err != nil {
 			fatal(err)
 		}
@@ -127,6 +141,30 @@ func main() {
 	default:
 		fatal(fmt.Errorf("-role must be master or worker"))
 	}
+}
+
+// serveMetrics starts the observability sidecar listener: the process
+// telemetry as Prometheus text on /metrics and expvar-style JSON on
+// /debug/vars, plus (opt-in) the pprof endpoints. It runs for the life
+// of the process; generation traffic stays on the main port.
+func serveMetrics(addr string, tel *telemetry.Registry, withPprof bool) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", tel.PrometheusHandler())
+	mux.Handle("GET /debug/vars", tel.JSONHandler())
+	if withPprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	fmt.Fprintf(os.Stderr, "trilliong-dist: metrics on http://%s/metrics\n", ln.Addr())
+	go http.Serve(ln, mux)
+	return nil
 }
 
 func parseSeed(spec string) (skg.Seed, error) {

@@ -13,7 +13,10 @@
 //	curl -d '{"scale":20,"format":"tsv"}' localhost:8080/v1/jobs
 //	curl localhost:8080/v1/jobs/j00000001/stream > graph.tsv
 //	curl localhost:8080/v1/jobs/j00000001        # status / progress
-//	curl localhost:8080/debug/vars               # live counters
+//	curl localhost:8080/debug/vars               # live counters (JSON)
+//	curl localhost:8080/metrics                  # same data, Prometheus text
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/.
 //
 // SIGINT/SIGTERM drains gracefully: new jobs get 503 while in-flight
 // streams finish (bounded by -drain-timeout).
@@ -43,6 +46,7 @@ type options struct {
 	maxScale     int
 	depth        int
 	drainTimeout time.Duration
+	pprof        bool
 }
 
 func defineFlags(fs *flag.FlagSet) *options {
@@ -54,6 +58,7 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.maxScale, "max-scale", 34, "largest accepted scale")
 	fs.IntVar(&o.depth, "depth", 32, "per-producer pipeline depth (scopes)")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", time.Minute, "graceful shutdown bound")
+	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	return o
 }
 
@@ -78,6 +83,7 @@ func (o *options) newService() *trilliong.Server {
 		MaxWorkersPerJob: o.maxWorkers,
 		MaxScale:         o.maxScale,
 		PipelineDepth:    o.depth,
+		EnablePprof:      o.pprof,
 	})
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/recvec"
 	"repro/internal/rng"
 	"repro/internal/skg"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes one TrillionG generation run.
@@ -298,6 +299,14 @@ func Plan(cfg Config, parts int) ([]partition.Range, error) {
 // Generate runs the full TrillionG pipeline: plan, then parallel scope
 // generation into the sinks.
 func Generate(cfg Config, sinks SinkFactory) (Stats, error) {
+	return GenerateObserved(cfg, sinks, nil)
+}
+
+// GenerateObserved is Generate feeding the given telemetry registry:
+// the plan, RecVec-build, scope-draw and sink-write stages plus the
+// run-wide scope/edge/attempt counters (see docs/OBSERVABILITY.md for
+// the catalog). A nil registry disables instrumentation entirely.
+func GenerateObserved(cfg Config, sinks SinkFactory, tel *telemetry.Registry) (Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
 	}
@@ -309,7 +318,10 @@ func Generate(cfg Config, sinks SinkFactory) (Stats, error) {
 		return Stats{}, err
 	}
 	st.PlanDuration = time.Since(planStart)
-	gst, err := GenerateRanges(cfg, ranges, sinks)
+	if tel != nil {
+		tel.Stage(StagePlan).Observe(st.PlanDuration, int64(len(ranges)))
+	}
+	gst, err := GenerateRangesObserved(cfg, ranges, sinks, tel)
 	if err != nil {
 		return st, err
 	}
@@ -323,6 +335,14 @@ func Generate(cfg Config, sinks SinkFactory) (Stats, error) {
 // Generate, split out so a distributed worker can run the ranges a
 // master assigned it.
 func GenerateRanges(cfg Config, ranges []partition.Range, sinks SinkFactory) (Stats, error) {
+	return GenerateRangesObserved(cfg, ranges, sinks, nil)
+}
+
+// GenerateRangesObserved is GenerateRanges feeding the given telemetry
+// registry (nil disables instrumentation). Worker wall time is split
+// between the scope-draw and sink-write stages by timing the writer
+// calls locally, so the hot loop never touches shared state.
+func GenerateRangesObserved(cfg Config, ranges []partition.Range, sinks SinkFactory, tel *telemetry.Registry) (Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
 	}
@@ -332,12 +352,19 @@ func GenerateRanges(cfg Config, ranges []partition.Range, sinks SinkFactory) (St
 	}
 	accts := make([]memacct.Acct, workers)
 	gens := make([]*avs.Generator, workers)
+	buildStart := time.Now()
 	for i := range gens {
 		g, err := NewScopeGenerator(cfg, &accts[i])
 		if err != nil {
 			return Stats{}, err
 		}
 		gens[i] = g
+	}
+	var timed []*timedWriter
+	if tel != nil {
+		tel.Stage(StageRecvecBuild).Observe(time.Since(buildStart), int64(workers))
+		timed = make([]*timedWriter, workers)
+		sinks = observedSinkFactory(sinks, tel.RateGauge(MetricEdgesPerSec, 0), timed)
 	}
 
 	var st Stats
@@ -355,6 +382,7 @@ func GenerateRanges(cfg Config, ranges []partition.Range, sinks SinkFactory) (St
 	genStart := time.Now()
 	type workerOut struct {
 		edges, attempts, maxDeg int64
+		dur                     time.Duration
 		err                     error
 	}
 	outs := make([]workerOut, workers)
@@ -366,6 +394,8 @@ func GenerateRanges(cfg Config, ranges []partition.Range, sinks SinkFactory) (St
 			out := &outs[i]
 			g := gens[i]
 			w := writers[i]
+			workerStart := time.Now()
+			defer func() { out.dur = time.Since(workerStart) }()
 			var buf []int64
 			for u := ranges[i].Lo; u < ranges[i].Hi; u++ {
 				src := rng.NewScoped(cfg.MasterSeed, uint64(u))
@@ -386,6 +416,22 @@ func GenerateRanges(cfg Config, ranges []partition.Range, sinks SinkFactory) (St
 	}
 	wg.Wait()
 	st.GenDuration = time.Since(genStart)
+	if tel != nil {
+		draw, write := tel.Stage(StageScopeDraw), tel.Stage(StageSinkWrite)
+		scopes, edges := tel.Counter(MetricScopes), tel.Counter(MetricEdges)
+		attempts, bytes := tel.Counter(MetricAttempts), tel.Counter(MetricBytes)
+		for i, out := range outs {
+			tw := timed[i]
+			write.Observe(tw.elapsed, out.edges)
+			if d := out.dur - tw.elapsed; d > 0 {
+				draw.Observe(d, tw.scopes)
+			}
+			scopes.Add(tw.scopes)
+			edges.Add(out.edges)
+			attempts.Add(out.attempts)
+			bytes.Add(writers[i].BytesWritten())
+		}
+	}
 	st.Elapsed = st.GenDuration
 	for i, out := range outs {
 		if out.err != nil {

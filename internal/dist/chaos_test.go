@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
+	"repro/internal/telemetry"
 )
 
 // chaosMasterConfig pins Parts so the file layout is comparable across
@@ -42,7 +43,7 @@ func chaosMasterConfig(cfg core.Config) MasterConfig {
 // are armed. Worker errors are tolerated: a worker whose lease was
 // requeued can outlive the run and fail its final reconnect, exactly
 // like a real machine that comes back after the job finished.
-func runChaosCluster(t *testing.T, cfg core.Config) (Summary, []string) {
+func runChaosCluster(t *testing.T, cfg core.Config) (Summary, []string, *telemetry.Registry) {
 	t.Helper()
 	m, err := NewMaster(chaosMasterConfig(cfg))
 	if err != nil {
@@ -72,7 +73,27 @@ func runChaosCluster(t *testing.T, cfg core.Config) (Summary, []string) {
 	if err != nil {
 		t.Fatalf("master: %v", err)
 	}
-	return sum, dirs
+	return sum, dirs, m.Telemetry()
+}
+
+// assertTelemetryMatchesSummary: the registry is fed by the same code
+// paths that build the Summary, so the two must agree exactly — any
+// drift means a lease event was recorded in one ledger but not the
+// other.
+func assertTelemetryMatchesSummary(t *testing.T, tel *telemetry.Registry, sum Summary) {
+	t.Helper()
+	if got := tel.CounterValue(MetricRequeues); got != int64(sum.Requeues) {
+		t.Fatalf("telemetry requeues %d, summary %d", got, sum.Requeues)
+	}
+	if got := tel.CounterValue(MetricMasterEdges); got != sum.Edges {
+		t.Fatalf("telemetry edges %d, summary %d", got, sum.Edges)
+	}
+	if got := tel.CounterValue(MetricPartsSkipped); got != int64(sum.SkippedParts) {
+		t.Fatalf("telemetry skipped parts %d, summary %d", got, sum.SkippedParts)
+	}
+	if got := tel.CounterValue(MetricPartsCompleted); got != int64(sum.Parts) {
+		t.Fatalf("telemetry completed parts %d, summary %d", got, sum.Parts)
+	}
 }
 
 // TestChaosKillAndStallBitIdentical is the acceptance scenario: one
@@ -86,10 +107,13 @@ func TestChaosKillAndStallBitIdentical(t *testing.T) {
 
 	// Undisturbed reference run.
 	faultpoint.Reset()
-	_, calmDirs := runChaosCluster(t, cfg)
+	_, calmDirs, calmTel := runChaosCluster(t, cfg)
 	want := readParts(t, calmDirs, "adj6")
 	if len(want) != 6 {
 		t.Fatalf("reference run produced %d parts, want 6", len(want))
+	}
+	if got := calmTel.CounterValue(MetricRequeues); got != 0 {
+		t.Fatalf("undisturbed run recorded %d requeues", got)
 	}
 
 	// Disturbed run: kill one worker mid-generation, stall another's
@@ -99,7 +123,7 @@ func TestChaosKillAndStallBitIdentical(t *testing.T) {
 	if err := faultpoint.ArmSpecs("dist.worker.scope=drop*1,dist.worker.heartbeat=stall:3s*1"); err != nil {
 		t.Fatal(err)
 	}
-	sum, chaosDirs := runChaosCluster(t, cfg)
+	sum, chaosDirs, tel := runChaosCluster(t, cfg)
 	got := readParts(t, chaosDirs, "adj6")
 
 	if faultpoint.Hits("dist.worker.scope") == 0 {
@@ -107,6 +131,15 @@ func TestChaosKillAndStallBitIdentical(t *testing.T) {
 	}
 	if sum.Requeues == 0 {
 		t.Fatalf("faults injected but nothing was requeued: %+v", sum)
+	}
+	assertTelemetryMatchesSummary(t, tel, sum)
+	// The dropped connection costs at least one requeue. The stall's
+	// effect is timing-dependent (a stall that fires as the lease
+	// finishes still delivers Done in time), so only the drop gives a
+	// deterministic lower bound; the exact fault→counter mapping is
+	// pinned by TestChaosTelemetryCountsInjectedFaults.
+	if hits := int64(faultpoint.Hits("dist.worker.scope")); tel.CounterValue(MetricRequeues) < hits {
+		t.Fatalf("requeues %d < injected connection drops %d", tel.CounterValue(MetricRequeues), hits)
 	}
 	if len(got) != len(want) {
 		t.Fatalf("disturbed run has %d parts, reference %d", len(got), len(want))
@@ -129,7 +162,7 @@ func TestChaosSinkFailureRetriedElsewhere(t *testing.T) {
 	cfg := testConfig(10)
 
 	faultpoint.Reset()
-	_, calmDirs := runChaosCluster(t, cfg)
+	_, calmDirs, _ := runChaosCluster(t, cfg)
 	want := readParts(t, calmDirs, "adj6")
 
 	faultpoint.Reset()
@@ -137,11 +170,15 @@ func TestChaosSinkFailureRetriedElsewhere(t *testing.T) {
 	if err := faultpoint.Arm("core.sink.write", "fail:injected disk failure*2"); err != nil {
 		t.Fatal(err)
 	}
-	sum, chaosDirs := runChaosCluster(t, cfg)
+	sum, chaosDirs, tel := runChaosCluster(t, cfg)
 	got := readParts(t, chaosDirs, "adj6")
 
 	if sum.Requeues == 0 {
 		t.Fatalf("write failures injected but nothing was requeued: %+v", sum)
+	}
+	assertTelemetryMatchesSummary(t, tel, sum)
+	if hits := int64(faultpoint.Hits("core.sink.write")); tel.CounterValue(MetricRequeues) < hits {
+		t.Fatalf("requeues %d < injected write failures %d", tel.CounterValue(MetricRequeues), hits)
 	}
 	if len(got) != len(want) {
 		t.Fatalf("disturbed run has %d parts, reference %d", len(got), len(want))
@@ -150,6 +187,81 @@ func TestChaosSinkFailureRetriedElsewhere(t *testing.T) {
 		if string(got[name]) != string(b) {
 			t.Fatalf("part %s differs from the undisturbed run", name)
 		}
+	}
+}
+
+// TestChaosTelemetryCountsInjectedFaults pins the fault→counter
+// mapping exactly: a single worker with one thread, a heartbeat cadence
+// far inside the result deadline (so no expiry can sneak in), and one
+// injected write failure must produce exactly one requeue, one requeued
+// range, and one worker-side failure — no more, no fewer.
+func TestChaosTelemetryCountsInjectedFaults(t *testing.T) {
+	cfg := testConfig(10)
+
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.Arm("core.sink.write", "fail:injected disk failure*1"); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := NewMaster(MasterConfig{
+		Addr:              "127.0.0.1:0",
+		Workers:           1,
+		Parts:             2,
+		Config:            cfg,
+		Format:            gformat.ADJ6,
+		AcceptTimeout:     10 * time.Second,
+		HeartbeatInterval: 100 * time.Millisecond,
+		ResultTimeout:     10 * time.Second,
+		MaxRetries:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtel := telemetry.NewRegistry()
+	outDir := t.TempDir()
+	var wg sync.WaitGroup
+	var workerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		workerErr = RunWorker(WorkerConfig{
+			MasterAddr: m.Addr(),
+			Threads:    1,
+			OutDir:     outDir,
+			MaxDials:   30,
+			Backoff:    fastBackoff,
+			Telemetry:  wtel,
+		})
+	}()
+	sum, err := m.Run()
+	wg.Wait()
+	if err != nil || workerErr != nil {
+		t.Fatalf("errs: %v / %v", err, workerErr)
+	}
+
+	if hits := faultpoint.Hits("core.sink.write"); hits != 1 {
+		t.Fatalf("faultpoint fired %d times, want 1", hits)
+	}
+	tel := m.Telemetry()
+	if got := tel.CounterValue(MetricRequeues); got != 1 {
+		t.Fatalf("requeues counter %d, want exactly the 1 injected fault", got)
+	}
+	if got := tel.CounterValue(MetricRequeuedRanges); got != 1 {
+		t.Fatalf("requeued ranges counter %d, want 1", got)
+	}
+	if got := tel.CounterValue(MetricLeaseExpiries); got != 0 {
+		t.Fatalf("lease expiries counter %d, want 0 (no timing faults injected)", got)
+	}
+	if got := wtel.CounterValue(MetricWorkerFailures); got != 1 {
+		t.Fatalf("worker failures counter %d, want 1", got)
+	}
+	assertTelemetryMatchesSummary(t, tel, sum)
+	if sum.Requeues != 1 {
+		t.Fatalf("summary requeues %d, want 1", sum.Requeues)
+	}
+	if got := readParts(t, []string{outDir}, "adj6"); len(got) != 2 {
+		t.Fatalf("run produced %d parts, want 2", len(got))
 	}
 }
 

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 )
 
 // MasterConfig configures RunMaster.
@@ -56,6 +58,10 @@ type MasterConfig struct {
 	// after a fault before the run is aborted (0 = 2; every range gets
 	// at most MaxRetries+1 attempts).
 	MaxRetries int
+	// Telemetry receives the master's lease/requeue/heartbeat metrics
+	// (see internal/dist metric constants). nil uses a private
+	// registry, so instrumentation is always on and never global.
+	Telemetry *telemetry.Registry
 }
 
 func (c MasterConfig) minWorkers() int {
@@ -113,6 +119,7 @@ type Summary struct {
 type Master struct {
 	cfg MasterConfig
 	ln  net.Listener
+	tel *telemetry.Registry
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -160,13 +167,20 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen: %w", err)
 	}
-	m := &Master{cfg: cfg, ln: ln}
+	m := &Master{cfg: cfg, ln: ln, tel: cfg.Telemetry}
+	if m.tel == nil {
+		m.tel = telemetry.NewRegistry()
+	}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
 }
 
 // Addr returns the bound listen address.
 func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// Telemetry returns the registry the master records into — the one
+// from MasterConfig, or the private default.
+func (m *Master) Telemetry() *telemetry.Registry { return m.tel }
 
 // Close releases the listener (Run closes it itself on completion).
 func (m *Master) Close() error { return m.ln.Close() }
@@ -320,7 +334,10 @@ func (m *Master) handleWorker(conn net.Conn) {
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	m.tel.Counter(MetricWorkersRegistered).Inc()
+	m.tel.Gauge(MetricWorkersActive).Add(1)
 	defer func() {
+		m.tel.Gauge(MetricWorkersActive).Add(-1)
 		m.mu.Lock()
 		m.active--
 		m.cond.Broadcast()
@@ -381,15 +398,26 @@ func (m *Master) handleWorker(conn net.Conn) {
 			m.requeue(ids, fmt.Sprintf("sending lease: %v", err))
 			return
 		}
+		m.tel.Counter(MetricLeaseGrants).Inc()
 
 		// Await the lease result; heartbeats reset the silence clock.
+		// lastMsg feeds the heartbeat-gap histogram: a rising p99 gap is
+		// the early-warning signal for workers drifting toward the
+		// ResultTimeout expiry cliff.
+		lastMsg := time.Now()
 	result:
 		for {
 			var in interface{}
 			if err := decodeWithin(conn, dec, m.cfg.resultTimeout(), &in); err != nil {
+				var nerr net.Error
+				if errors.As(err, &nerr) && nerr.Timeout() {
+					m.tel.Counter(MetricLeaseExpiries).Inc()
+				}
 				m.requeue(ids, fmt.Sprintf("worker lost mid-lease: %v", err))
 				return
 			}
+			m.tel.Histogram(MetricHeartbeatGap).ObserveDuration(time.Since(lastMsg))
+			lastMsg = time.Now()
 			faultpoint.Fire("dist.master.result")
 			switch r := in.(type) {
 			case Heartbeat:
@@ -404,11 +432,17 @@ func (m *Master) handleWorker(conn net.Conn) {
 				}
 				continue
 			case Done:
+				m.tel.Counter(MetricMasterEdges).Add(r.Edges)
+				m.tel.Counter(MetricPartsSkipped).Add(int64(r.Skipped))
+				if r.GenDuration > 0 && r.Edges > 0 {
+					m.tel.Histogram(MetricWorkerEdgesPerSec).Observe(float64(r.Edges) / r.GenDuration.Seconds())
+				}
 				m.mu.Lock()
 				for _, id := range ids {
 					if !m.completed[id] {
 						m.completed[id] = true
 						m.remaining--
+						m.tel.Counter(MetricPartsCompleted).Inc()
 					}
 				}
 				m.sum.Edges += r.Edges
@@ -441,6 +475,7 @@ func (m *Master) handleWorker(conn net.Conn) {
 // requeue returns a faulted lease's uncompleted ranges to the queue,
 // aborting the run for any range past its attempt cap.
 func (m *Master) requeue(ids []int, cause string) {
+	m.tel.Counter(MetricRequeues).Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	defer m.cond.Broadcast()
@@ -450,6 +485,8 @@ func (m *Master) requeue(ids []int, cause string) {
 			continue // a duplicate Done beat us to it
 		}
 		m.attempts[id]++
+		m.tel.Counter(MetricRequeuedRanges).Inc()
+		m.tel.Counter(MetricRangeAttempts).Inc()
 		if m.attempts[id] > m.cfg.maxRetries() {
 			if m.fatal == nil {
 				m.fatal = fmt.Errorf("dist: range %d exhausted %d attempts (last fault: %s)",

@@ -1,0 +1,31 @@
+package dist
+
+// Metric names the distributed runtime publishes into the telemetry
+// registries handed to NewMaster and RunWorker (docs/OBSERVABILITY.md
+// is the catalog). Both sides default to a private registry when the
+// caller supplies none, so call sites never branch on instrumentation.
+const (
+	// Master-side lease lifecycle.
+	MetricLeaseGrants    = "dist.master.lease_grants"
+	MetricRequeues       = "dist.master.requeues"
+	MetricRequeuedRanges = "dist.master.requeued_ranges"
+	MetricLeaseExpiries  = "dist.master.lease_expiries"
+	MetricRangeAttempts  = "dist.master.range_attempts"
+	MetricPartsCompleted = "dist.master.parts_completed"
+	MetricPartsSkipped   = "dist.master.parts_skipped"
+	MetricMasterEdges    = "dist.master.edges_total"
+	// Fleet gauges/counters.
+	MetricWorkersActive     = "dist.master.workers_active"
+	MetricWorkersRegistered = "dist.master.workers_registered"
+	// Master-side latency/throughput distributions.
+	MetricHeartbeatGap      = "dist.master.heartbeat_gap_seconds"
+	MetricWorkerEdgesPerSec = "dist.master.worker_edges_per_sec"
+
+	// Worker-side counters and latencies.
+	MetricWorkerDials      = "dist.worker.dials_total"
+	MetricWorkerReconnects = "dist.worker.reconnects_total"
+	MetricWorkerLeases     = "dist.worker.leases_total"
+	MetricWorkerSkips      = "dist.worker.parts_skipped_total"
+	MetricWorkerFailures   = "dist.worker.failures_total"
+	MetricHeartbeatSend    = "dist.worker.heartbeat_send_seconds"
+)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 )
 
 // WorkerConfig configures RunWorker.
@@ -44,6 +45,10 @@ type WorkerConfig struct {
 	// waiting for a lease legitimately lasts until other workers free
 	// up work. 0 leaves the writes unbounded.
 	HandshakeTimeout time.Duration
+	// Telemetry receives the worker's lease/heartbeat metrics plus the
+	// core generation stages of every lease it executes (serve it via
+	// trilliong-dist's -metrics-addr). nil uses a private registry.
+	Telemetry *telemetry.Registry
 }
 
 func (c WorkerConfig) maxDials() int {
@@ -79,9 +84,13 @@ func RunWorker(cfg WorkerConfig) error {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 10 * time.Second
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
 
 	pol := cfg.backoff()
 	failures := 0
+	dials := 0
 	var lastErr error
 	for {
 		if failures > 0 {
@@ -89,6 +98,10 @@ func RunWorker(cfg WorkerConfig) error {
 				return fmt.Errorf("dist: giving up after %d connection attempts: %w", failures, lastErr)
 			}
 			pol.Sleep(failures-1, nil)
+		}
+		cfg.Telemetry.Counter(MetricWorkerDials).Inc()
+		if dials++; dials > 1 {
+			cfg.Telemetry.Counter(MetricWorkerReconnects).Inc()
 		}
 		conn, err := net.DialTimeout("tcp", cfg.MasterAddr, cfg.DialTimeout)
 		if err != nil {
@@ -140,6 +153,7 @@ func runSession(conn net.Conn, cfg WorkerConfig) (done, leased bool, err error) 
 			return true, leased, nil
 		case Job:
 			leased = true
+			cfg.Telemetry.Counter(MetricWorkerLeases).Inc()
 			if err := faultpoint.Fire("dist.worker.job"); err != nil {
 				return false, leased, sessionFault(conn, err)
 			}
@@ -148,6 +162,7 @@ func runSession(conn net.Conn, cfg WorkerConfig) (done, leased bool, err error) 
 				if errors.Is(err, faultpoint.ErrDrop) {
 					return false, leased, sessionFault(conn, err)
 				}
+				cfg.Telemetry.Counter(MetricWorkerFailures).Inc()
 				if serr := send(Fail{Error: err.Error()}); serr != nil {
 					return false, leased, fmt.Errorf("dist: sending failure: %w", serr)
 				}
@@ -178,6 +193,7 @@ func sessionFault(conn net.Conn, err error) error {
 func executeLease(job Job, cfg WorkerConfig, conn net.Conn, send func(interface{}) error) (Done, error) {
 	missing, missingIDs := core.MissingParts(cfg.OutDir, job.Format, job.Ranges, job.PartIDs)
 	skipped := len(job.Ranges) - len(missing)
+	cfg.Telemetry.Counter(MetricWorkerSkips).Add(int64(skipped))
 
 	var scopes atomic.Int64
 	stop := make(chan struct{})
@@ -186,6 +202,7 @@ func executeLease(job Job, cfg WorkerConfig, conn net.Conn, send func(interface{
 		hb.Add(1)
 		go func() {
 			defer hb.Done()
+			sendLat := cfg.Telemetry.Histogram(MetricHeartbeatSend)
 			tick := time.NewTicker(job.Heartbeat)
 			defer tick.Stop()
 			for {
@@ -200,9 +217,14 @@ func executeLease(job Job, cfg WorkerConfig, conn net.Conn, send func(interface{
 						}
 						continue // a failed beat is just a missed beat
 					}
+					beatStart := time.Now()
 					if send(Heartbeat{ScopesDone: scopes.Load()}) != nil {
 						return // the lease loop will notice the dead conn
 					}
+					// Round trip through the shared encoder onto the
+					// wire: the worker-side half of the latency the
+					// master's gap histogram sees.
+					sendLat.ObserveDuration(time.Since(beatStart))
 				}
 			}
 		}()
@@ -213,8 +235,13 @@ func executeLease(job Job, cfg WorkerConfig, conn net.Conn, send func(interface{
 	if len(missing) > 0 {
 		// Atomic sinks: a crashed worker leaves only .tmp litter, never
 		// a truncated part file, so a restart can trust what it finds.
-		sinks := core.AtomicPartSinks(cfg.OutDir, job.Format, job.Config.NumVertices(), missingIDs)
-		st, err = core.GenerateRanges(job.Config, missing, progressSinks(sinks, &scopes))
+		// ObservedSinks feeds the per-format byte/edge counters and
+		// GenerateRangesObserved the stage spans, so a worker's
+		// -metrics-addr shows live core-pipeline throughput.
+		sinks := core.ObservedSinks(
+			core.AtomicPartSinks(cfg.OutDir, job.Format, job.Config.NumVertices(), missingIDs),
+			job.Format, cfg.Telemetry)
+		st, err = core.GenerateRangesObserved(job.Config, missing, progressSinks(sinks, &scopes), cfg.Telemetry)
 	}
 	close(stop)
 	hb.Wait()

@@ -1,64 +1,69 @@
 package server
 
 import (
-	"expvar"
 	"net/http"
-	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// metrics aggregates the service-wide live counters served at
-// /debug/vars in expvar format. The variables are instance-local (not
-// published to the global expvar registry) so multiple servers — e.g.
-// in tests — never collide.
+// metrics bridges the service's live counters onto an instance-local
+// telemetry.Registry. The registry serves two expositions — /debug/vars
+// (expvar-style JSON, bit-compatible with the pre-telemetry keys) and
+// /metrics (Prometheus text) — from the same underlying values.
+// Nothing is published globally, so multiple servers — e.g. in tests —
+// never collide.
 type metrics struct {
 	start time.Time
+	tel   *telemetry.Registry
 
-	jobsCreated  expvar.Int
-	jobsDone     expvar.Int
-	jobsFailed   expvar.Int
-	jobsCanceled expvar.Int
-	jobsRejected expvar.Int
+	jobsCreated  *telemetry.Counter
+	jobsDone     *telemetry.Counter
+	jobsFailed   *telemetry.Counter
+	jobsCanceled *telemetry.Counter
+	jobsRejected *telemetry.Counter
 	// retryAfterSecs is the Retry-After the last over-capacity
 	// rejection advertised — rising values mean clients are hammering
 	// a saturated server.
-	retryAfterSecs expvar.Int
+	retryAfterSecs *telemetry.Gauge
 
-	streamsActive expvar.Int
-	scopesTotal   expvar.Int
-	edgesTotal    expvar.Int
-	bytesTotal    expvar.Int
+	streamsActive *telemetry.Gauge
+	scopesTotal   *telemetry.Counter
+	edgesTotal    *telemetry.Counter
+	bytesTotal    *telemetry.Counter
 
-	// rate state for the edges_per_sec gauge: the rate is the edge
-	// delta between consecutive /debug/vars reads (first read: since
-	// start).
-	rateMu    sync.Mutex
-	lastRead  time.Time
-	lastEdges int64
-	lastRate  float64
-
-	vars *expvar.Map
+	// edgesPerSec averages the edge throughput over a fixed sliding
+	// window. Unlike the old delta-since-last-read gauge, the window is
+	// independent of scrape cadence, so two concurrent /debug/vars
+	// readers observe the same rate instead of corrupting each other's
+	// delta.
+	edgesPerSec *telemetry.RateGauge
 }
 
 // newMetrics wires the counters, the derived gauges and the per-job
-// progress snapshot into one expvar map.
+// progress snapshot into one registry, under the historical
+// /debug/vars key names.
 func newMetrics(reg *registry) *metrics {
-	m := &metrics{start: time.Now(), vars: new(expvar.Map).Init()}
-	m.vars.Set("jobs_created", &m.jobsCreated)
-	m.vars.Set("jobs_done", &m.jobsDone)
-	m.vars.Set("jobs_failed", &m.jobsFailed)
-	m.vars.Set("jobs_canceled", &m.jobsCanceled)
-	m.vars.Set("jobs_rejected", &m.jobsRejected)
-	m.vars.Set("retry_after_seconds", &m.retryAfterSecs)
-	m.vars.Set("streams_active", &m.streamsActive)
-	m.vars.Set("scopes_streamed", &m.scopesTotal)
-	m.vars.Set("edges_streamed", &m.edgesTotal)
-	m.vars.Set("bytes_streamed", &m.bytesTotal)
-	m.vars.Set("uptime_seconds", expvar.Func(func() any {
+	tel := telemetry.NewRegistry()
+	m := &metrics{
+		start:          time.Now(),
+		tel:            tel,
+		jobsCreated:    tel.Counter("jobs_created"),
+		jobsDone:       tel.Counter("jobs_done"),
+		jobsFailed:     tel.Counter("jobs_failed"),
+		jobsCanceled:   tel.Counter("jobs_canceled"),
+		jobsRejected:   tel.Counter("jobs_rejected"),
+		retryAfterSecs: tel.Gauge("retry_after_seconds"),
+		streamsActive:  tel.Gauge("streams_active"),
+		scopesTotal:    tel.Counter("scopes_streamed"),
+		edgesTotal:     tel.Counter("edges_streamed"),
+		bytesTotal:     tel.Counter("bytes_streamed"),
+		edgesPerSec:    tel.RateGauge("edges_per_sec", 0),
+	}
+	tel.GaugeFunc("uptime_seconds", func() float64 {
 		return time.Since(m.start).Seconds()
-	}))
-	m.vars.Set("edges_per_sec", expvar.Func(func() any { return m.edgesPerSec() }))
-	m.vars.Set("jobs", expvar.Func(func() any {
+	})
+	tel.Func("jobs", func() any {
 		type progress struct {
 			State    JobState `json:"state"`
 			Progress float64  `json:"progress"`
@@ -69,37 +74,24 @@ func newMetrics(reg *registry) *metrics {
 			out[st.ID] = progress{State: st.State, Progress: st.Progress, Edges: st.EdgesStreamed}
 		}
 		return out
-	}))
+	})
 	return m
 }
 
-// edgesPerSec returns the streaming rate over the window since the
-// previous read (or since start on the first read). Back-to-back reads
-// inside one millisecond reuse the previous value instead of dividing
-// by ~zero.
-func (m *metrics) edgesPerSec() float64 {
-	m.rateMu.Lock()
-	defer m.rateMu.Unlock()
-	now := time.Now()
-	last := m.lastRead
-	if last.IsZero() {
-		last = m.start
-	}
-	dt := now.Sub(last)
-	if dt < time.Millisecond {
-		return m.lastRate
-	}
-	edges := m.edgesTotal.Value()
-	m.lastRate = float64(edges-m.lastEdges) / dt.Seconds()
-	m.lastRead = now
-	m.lastEdges = edges
-	return m.lastRate
+// addEdges feeds n streamed edges into both the lifetime total and the
+// windowed rate.
+func (m *metrics) addEdges(n int64) {
+	m.edgesTotal.Add(n)
+	m.edgesPerSec.Add(n)
 }
 
 // handler serves the counters as a flat JSON object, the same shape
 // expvar's own /debug/vars handler produces.
-func (m *metrics) handler(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.Write([]byte(m.vars.String()))
-	w.Write([]byte("\n"))
+func (m *metrics) handler(w http.ResponseWriter, r *http.Request) {
+	m.tel.JSONHandler().ServeHTTP(w, r)
+}
+
+// promHandler serves the same registry in Prometheus text format.
+func (m *metrics) promHandler(w http.ResponseWriter, r *http.Request) {
+	m.tel.PrometheusHandler().ServeHTTP(w, r)
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/gformat"
+	"repro/internal/telemetry"
 )
 
 // Options configures a Server. Zero fields take the documented
@@ -33,6 +34,10 @@ type Options struct {
 	MaxScale int
 	// PipelineDepth is each producer's channel capacity (0 = 32).
 	PipelineDepth int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints are opt-in (trilliong-serve's -pprof
+	// flag) because they expose process internals.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -90,16 +95,23 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/vars", s.metrics.handler)
-	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.mux.HandleFunc("GET /metrics", s.metrics.promHandler)
+	if s.opts.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Telemetry returns the server's metrics registry — the backing store
+// of /debug/vars and /metrics.
+func (s *Server) Telemetry() *telemetry.Registry { return s.metrics.tel }
 
 // BeginDrain puts the server into draining mode: new jobs and new
 // streams are rejected with 503 while in-flight streams keep running.
@@ -272,7 +284,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if delay < 1 {
 			delay = 1
 		}
-		s.metrics.retryAfterSecs.Set(delay)
+		s.metrics.retryAfterSecs.Set(float64(delay))
 		w.Header().Set("Retry-After", fmt.Sprint(delay))
 		writeError(w, http.StatusServiceUnavailable, "stream capacity (%d) exhausted", s.opts.MaxActiveStreams)
 		return
@@ -313,7 +325,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			job.scopes.Add(1)
 			job.edges.Add(int64(edges))
 			s.metrics.scopesTotal.Add(1)
-			s.metrics.edgesTotal.Add(int64(edges))
+			s.metrics.addEdges(int64(edges))
 		},
 	})
 	job.finish(err, ctx.Err())

@@ -409,7 +409,7 @@ func TestServerBadRequests(t *testing.T) {
 }
 
 func TestServerListAndMetrics(t *testing.T) {
-	_, base := newTestServer(t, Options{})
+	_, base := newTestServer(t, Options{EnablePprof: true})
 	id := createJob(t, base, `{"scale":10,"format":"tsv"}`)
 	resp, err := http.Get(base + "/v1/jobs/" + id + "/stream")
 	if err != nil {
@@ -470,16 +470,122 @@ func TestServerListAndMetrics(t *testing.T) {
 
 func TestMetricsEdgesPerSec(t *testing.T) {
 	m := newMetrics(newRegistry(4))
-	m.edgesTotal.Add(1000)
+	m.addEdges(1000)
 	time.Sleep(5 * time.Millisecond)
-	if r := m.edgesPerSec(); r <= 0 {
+	if r := m.edgesPerSec.Rate(); r <= 0 {
 		t.Fatalf("rate %v", r)
 	}
-	// Immediate re-read falls inside the minimum window and reuses the
-	// previous value instead of dividing by ~zero.
-	r1 := m.edgesPerSec()
-	r2 := m.edgesPerSec()
-	if r1 != r2 {
-		t.Fatalf("sub-window reads diverge: %v vs %v", r1, r2)
+	// Reading is side-effect-free with respect to other readers: the
+	// second read sees the same baseline (not a zeroed delta), so
+	// back-to-back reads agree up to the clock ticks between them.
+	r1 := m.edgesPerSec.Rate()
+	r2 := m.edgesPerSec.Rate()
+	if r2 <= 0.9*r1 || r2 >= 1.1*r1 {
+		t.Fatalf("back-to-back reads diverge: %v vs %v", r1, r2)
+	}
+	if got := m.edgesPerSec.Total(); got != 1000 {
+		t.Fatalf("rate gauge total %d, want 1000", got)
+	}
+}
+
+// TestMetricsConcurrentScrapes is the regression test for the old
+// delta-since-last-read edges_per_sec: two monitoring systems scraping
+// /debug/vars concurrently would split the delta between them, so each
+// saw a fraction of the true rate (and a fast scraper starved a slow
+// one to ~0). With the fixed-window gauge every concurrent reader must
+// observe a positive rate of the same magnitude.
+func TestMetricsConcurrentScrapes(t *testing.T) {
+	m := newMetrics(newRegistry(4))
+	m.addEdges(100_000)
+	time.Sleep(10 * time.Millisecond)
+
+	const readers = 8
+	rates := make([]float64, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rates[i] = m.edgesPerSec.Rate()
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range rates {
+		if r <= 0 {
+			t.Fatalf("reader %d starved: rate %v (rates %v)", i, r, rates)
+		}
+	}
+	// All readers ran within microseconds of each other over a ≥10ms
+	// window; their rates must agree to well under 2x, where the old
+	// implementation produced order-of-magnitude splits.
+	min, max := rates[0], rates[0]
+	for _, r := range rates[1:] {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if max > 2*min {
+		t.Fatalf("concurrent readers disagree: min %v max %v", min, max)
+	}
+}
+
+// TestMetricsPrometheusEndpoint: /metrics serves the same registry in
+// Prometheus text format, with /debug/vars keys visible as
+// trilliong_-prefixed series.
+func TestMetricsPrometheusEndpoint(t *testing.T) {
+	_, base := newTestServer(t, Options{})
+	id := createJob(t, base, `{"scale":8,"format":"tsv"}`)
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	presp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", presp.StatusCode)
+	}
+	if ct := presp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(presp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE trilliong_jobs_created counter\ntrilliong_jobs_created 1\n",
+		"# TYPE trilliong_jobs_done counter\ntrilliong_jobs_done 1\n",
+		"# TYPE trilliong_edges_per_sec gauge\n",
+		"trilliong_edges_streamed ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "trilliong_jobs ") {
+		t.Fatalf("per-job map leaked into Prometheus exposition:\n%s", text)
+	}
+}
+
+// TestPprofOptIn: the profiling endpoints are absent unless
+// Options.EnablePprof is set.
+func TestPprofOptIn(t *testing.T) {
+	_, base := newTestServer(t, Options{})
+	resp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof mounted by default: %d", resp.StatusCode)
 	}
 }

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON writes the registry as a flat JSON object in the shape
+// expvar's /debug/vars produces: keys sorted, scalar metrics as bare
+// numbers, histograms and stages as small objects. internal/server
+// keeps its pre-telemetry /debug/vars keys bit-compatible by
+// registering metrics under the historical key names.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	names := r.sortedNames()
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	for _, name := range names {
+		val, ok := r.jsonValue(name)
+		if !ok {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%q: %s", name, val)
+	}
+	b.WriteString("}")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonValue renders one metric as a JSON fragment.
+func (r *Registry) jsonValue(name string) (string, bool) {
+	switch m := r.get(name).(type) {
+	case *Counter:
+		return strconv.FormatInt(m.Value(), 10), true
+	case *Gauge:
+		return formatFloat(m.Value()), true
+	case funcGauge:
+		return formatFloat(m()), true
+	case *RateGauge:
+		return formatFloat(m.Rate()), true
+	case *Histogram:
+		b, err := json.Marshal(m.Snapshot())
+		if err != nil {
+			return "", false
+		}
+		return string(b), true
+	case *Stage:
+		b, err := json.Marshal(m.Snapshot())
+		if err != nil {
+			return "", false
+		}
+		return string(b), true
+	case funcAny:
+		b, err := json.Marshal(m())
+		if err != nil {
+			return "", false
+		}
+		return string(b), true
+	}
+	return "", false
+}
+
+// formatFloat matches expvar's float formatting ('g', shortest), so
+// the JSON exposition of a migrated metric is byte-identical to what
+// an expvar.Float printed.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromPrefix is prepended to every Prometheus series name.
+const PromPrefix = "trilliong_"
+
+// promName rewrites a dotted metric name into a Prometheus series
+// name: "dist.master.requeues" → "trilliong_dist_master_requeues".
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(PromPrefix)
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4): counters and stages as counters, gauges and
+// rates as gauges, histograms as summaries with p50/p90/p99 quantile
+// series. Func metrics (arbitrary JSON) have no Prometheus shape and
+// are skipped.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range r.sortedNames() {
+		pn := promName(name)
+		switch m := r.get(name).(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, m.Value())
+		case *Gauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(m.Value()))
+		case funcGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(m()))
+		case *RateGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(m.Rate()))
+		case *Histogram:
+			s := m.Snapshot()
+			fmt.Fprintf(&b, "# TYPE %s summary\n", pn)
+			fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", pn, formatFloat(s.P50))
+			fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %s\n", pn, formatFloat(s.P90))
+			fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", pn, formatFloat(s.P99))
+			fmt.Fprintf(&b, "%s_sum %s\n", pn, formatFloat(s.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", pn, s.Count)
+			fmt.Fprintf(&b, "# TYPE %s_max gauge\n%s_max %s\n", pn, pn, formatFloat(s.Max))
+		case *Stage:
+			s := m.Snapshot()
+			fmt.Fprintf(&b, "# TYPE %s_calls_total counter\n%s_calls_total %d\n", pn, pn, s.Calls)
+			fmt.Fprintf(&b, "# TYPE %s_items_total counter\n%s_items_total %d\n", pn, pn, s.Items)
+			fmt.Fprintf(&b, "# TYPE %s_seconds_total counter\n%s_seconds_total %s\n", pn, pn, formatFloat(s.Seconds))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// JSONHandler serves the registry as expvar-style JSON (the
+// /debug/vars shape).
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w)
+		io.WriteString(w, "\n")
+	})
+}
+
+// PrometheusHandler serves the registry in Prometheus text format (the
+// /metrics shape).
+func (r *Registry) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

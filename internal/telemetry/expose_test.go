@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_count").Add(42)
+	r.Gauge("a_gauge").Set(1.5)
+	r.GaugeFunc("c_func", func() float64 { return 2 })
+	r.Func("d_map", func() any { return map[string]int{"k": 1} })
+	r.Stage("e_stage").Observe(time.Second, 10)
+	r.Histogram("f_hist").Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// Must be valid JSON with every metric present.
+	var parsed map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("invalid JSON %q: %v", out, err)
+	}
+	for _, k := range []string{"a_gauge", "b_count", "c_func", "d_map", "e_stage", "f_hist"} {
+		if _, ok := parsed[k]; !ok {
+			t.Fatalf("missing key %s in %s", k, out)
+		}
+	}
+	// Keys are emitted sorted, like expvar.Map.
+	if strings.Index(out, `"a_gauge"`) > strings.Index(out, `"b_count"`) {
+		t.Fatalf("keys not sorted: %s", out)
+	}
+	// Scalars are bare numbers, matching the expvar wire shape.
+	if string(parsed["b_count"]) != "42" {
+		t.Fatalf("counter rendered as %s", parsed["b_count"])
+	}
+	if string(parsed["a_gauge"]) != "1.5" {
+		t.Fatalf("gauge rendered as %s", parsed["a_gauge"])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dist.master.requeues").Add(3)
+	r.Gauge("depth").Set(2)
+	r.Stage("core.sink_write").Observe(2*time.Second, 10)
+	h := r.Histogram("dist.heartbeat.gap_seconds")
+	h.Observe(0.1)
+	h.Observe(0.1)
+	r.Func("jobs", func() any { return map[string]string{} }) // skipped
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE trilliong_dist_master_requeues counter",
+		"trilliong_dist_master_requeues 3",
+		"trilliong_depth 2",
+		"trilliong_core_sink_write_calls_total 1",
+		"trilliong_core_sink_write_items_total 10",
+		"trilliong_core_sink_write_seconds_total 2",
+		"# TYPE trilliong_dist_heartbeat_gap_seconds summary",
+		`trilliong_dist_heartbeat_gap_seconds{quantile="0.5"}`,
+		"trilliong_dist_heartbeat_gap_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "jobs") {
+		t.Fatalf("func metric leaked into prometheus output:\n%s", out)
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+
+	jr := httptest.NewRecorder()
+	r.JSONHandler().ServeHTTP(jr, httptest.NewRequest("GET", "/debug/vars", nil))
+	if ct := jr.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("json content type %q", ct)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(jr.Body.Bytes(), &m); err != nil || m["c"] != 1 {
+		t.Fatalf("json handler body %q err %v", jr.Body.String(), err)
+	}
+
+	pr := httptest.NewRecorder()
+	r.PrometheusHandler().ServeHTTP(pr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := pr.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("prometheus content type %q", ct)
+	}
+	if !strings.Contains(pr.Body.String(), "trilliong_c 1") {
+		t.Fatalf("prometheus handler body %q", pr.Body.String())
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	if got := promName("dist.worker-3.edges/sec"); got != "trilliong_dist_worker_3_edges_sec" {
+		t.Fatalf("promName %q", got)
+	}
+}
