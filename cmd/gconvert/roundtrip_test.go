@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/gformat"
+)
+
+// convertFile runs one gconvert conversion exactly as the binary does:
+// copyGraph from in (format fi) into a fresh writer for fo at outPath.
+// vertices is required for CSR6 output.
+func convertFile(t *testing.T, inPath string, fi gformat.Format, outPath string, fo gformat.Format, vertices int64) {
+	t.Helper()
+	in, err := os.Open(inPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w gformat.Writer
+	switch fo {
+	case gformat.TSV:
+		w = gformat.NewTSVWriter(out)
+	case gformat.ADJ6:
+		w = gformat.NewADJ6Writer(out)
+	case gformat.CSR6:
+		cw, err := gformat.NewCSR6Writer(out, vertices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w = cw
+	}
+	if err := copyGraph(in, fi, w); err != nil {
+		t.Fatalf("%s -> %s: %v", fi, fo, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readEdges loads a TSV file as a sorted edge multiset.
+func readEdges(t *testing.T, path string) []gformat.Edge {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := gformat.NewTSVReader(f)
+	var edges []gformat.Edge
+	for {
+		e, err := r.Next()
+		if err != nil {
+			break
+		}
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		return edges[i].Dst < edges[j].Dst
+	})
+	return edges
+}
+
+// randomScopes draws a CSR-compatible graph: sources strictly
+// increasing, each with a sorted set of distinct destinations.
+func randomScopes(rng *rand.Rand, nv int64) ([]int64, [][]int64) {
+	var srcs []int64
+	var adjs [][]int64
+	for v := int64(0); v < nv; v++ {
+		if rng.Intn(3) == 0 { // empty vertex: appears in no scope
+			continue
+		}
+		deg := 1 + rng.Intn(5)
+		seen := map[int64]bool{}
+		var dsts []int64
+		for len(dsts) < deg {
+			d := rng.Int63n(nv)
+			if !seen[d] {
+				seen[d] = true
+				dsts = append(dsts, d)
+			}
+		}
+		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+		srcs, adjs = append(srcs, v), append(adjs, dsts)
+	}
+	return srcs, adjs
+}
+
+func writeScopesTSV(t *testing.T, path string, srcs []int64, adjs [][]int64) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := gformat.NewTSVWriter(f)
+	for i, s := range srcs {
+		if err := w.WriteScope(s, adjs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// roundTrip drives TSV -> ADJ6 -> CSR6 -> TSV and checks (a) the edge
+// multiset survives unchanged and (b) CSR6 is a fixed point: converting
+// the final TSV to CSR6 again reproduces the first CSR6 file
+// bit-identically.
+func roundTrip(t *testing.T, dir string, nv int64) {
+	t.Helper()
+	tsv1 := filepath.Join(dir, "1.tsv")
+	adj := filepath.Join(dir, "2.adj6")
+	csr1 := filepath.Join(dir, "3.csr6")
+	tsv2 := filepath.Join(dir, "4.tsv")
+	csr2 := filepath.Join(dir, "5.csr6")
+
+	convertFile(t, tsv1, gformat.TSV, adj, gformat.ADJ6, 0)
+	convertFile(t, adj, gformat.ADJ6, csr1, gformat.CSR6, nv)
+	convertFile(t, csr1, gformat.CSR6, tsv2, gformat.TSV, 0)
+
+	want, got := readEdges(t, tsv1), readEdges(t, tsv2)
+	if len(want) != len(got) {
+		t.Fatalf("round trip changed edge count: %d -> %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("edge %d changed: %v -> %v", i, want[i], got[i])
+		}
+	}
+
+	convertFile(t, tsv2, gformat.TSV, csr2, gformat.CSR6, nv)
+	b1, err := os.ReadFile(csr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(csr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("CSR6 is not a round-trip fixed point (%d vs %d bytes)", len(b1), len(b2))
+	}
+}
+
+// TestRoundTripRandomGraphs: property check over seeded random graphs
+// with empty vertices interleaved.
+func TestRoundTripRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			nv := int64(16 + rng.Intn(100))
+			srcs, adjs := randomScopes(rng, nv)
+			dir := t.TempDir()
+			writeScopesTSV(t, filepath.Join(dir, "1.tsv"), srcs, adjs)
+			roundTrip(t, dir, nv)
+		})
+	}
+}
+
+// TestRoundTripEmptyVertexRange: a graph with vertices but no edges
+// survives the chain — the CSR6 file is all-zero offsets, the TSV ends
+// empty.
+func TestRoundTripEmptyVertexRange(t *testing.T) {
+	dir := t.TempDir()
+	writeScopesTSV(t, filepath.Join(dir, "1.tsv"), nil, nil)
+	roundTrip(t, dir, 32)
+	if edges := readEdges(t, filepath.Join(dir, "4.tsv")); len(edges) != 0 {
+		t.Fatalf("empty graph grew %d edges", len(edges))
+	}
+}
+
+// TestRoundTripSingleVertex: the 1-vertex graph (self-loop only).
+func TestRoundTripSingleVertex(t *testing.T) {
+	dir := t.TempDir()
+	writeScopesTSV(t, filepath.Join(dir, "1.tsv"), []int64{0}, [][]int64{{0}})
+	roundTrip(t, dir, 1)
+	edges := readEdges(t, filepath.Join(dir, "4.tsv"))
+	if len(edges) != 1 || edges[0] != (gformat.Edge{Src: 0, Dst: 0}) {
+		t.Fatalf("single-vertex graph round-tripped to %v", edges)
+	}
+}

@@ -15,7 +15,12 @@
 // The report lands in -out (default BENCH_report.json); -validate
 // checks an existing report against the schema and sanity bounds
 // (non-empty sweep, positive edges/sec) and exits non-zero on
-// violation, which is how CI gates on it.
+// violation, which is how CI gates on it. -baseline additionally
+// compares throughput against a committed reference report
+// (BENCH_baseline.json): a run matched on (scale, edge factor, format,
+// workers) must reach at least a third of the baseline's edges/sec —
+// loose enough for shared CI runners, tight enough to catch an
+// order-of-magnitude regression.
 package main
 
 import (
@@ -156,6 +161,43 @@ func validateReport(r report) error {
 	return nil
 }
 
+// baselineTolerance is the allowed slowdown factor against the
+// committed baseline before the gate trips. CI runners are noisy and
+// heterogeneous, so the gate only catches collapses, not jitter.
+const baselineTolerance = 3.0
+
+// runKey matches runs across reports.
+func runKey(r run) string {
+	return fmt.Sprintf("scale=%d ef=%d format=%s workers=%d", r.Scale, r.EdgeFactor, r.Format, r.Workers)
+}
+
+// compareBaseline checks every current run that has a baseline
+// counterpart. At least one pair must match — a baseline that matches
+// nothing gates nothing, which would be a silently dead check.
+func compareBaseline(cur, base report) error {
+	baseRuns := make(map[string]run, len(base.Runs))
+	for _, r := range base.Runs {
+		baseRuns[runKey(r)] = r
+	}
+	matched := 0
+	for _, r := range cur.Runs {
+		b, ok := baseRuns[runKey(r)]
+		if !ok {
+			continue
+		}
+		matched++
+		if floor := b.EdgesPerSec / baselineTolerance; r.EdgesPerSec < floor {
+			return fmt.Errorf("%s: %.0f edges/s is under the regression floor %.0f (baseline %.0f / tolerance %g)",
+				runKey(r), r.EdgesPerSec, floor, b.EdgesPerSec, baselineTolerance)
+		}
+		fmt.Fprintf(os.Stderr, "  baseline ok: %s  %.0f edges/s vs baseline %.0f\n", runKey(r), r.EdgesPerSec, b.EdgesPerSec)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no run matches the baseline sweep (%d current, %d baseline runs)", len(cur.Runs), len(base.Runs))
+	}
+	return nil
+}
+
 func formatName(f gformat.Format) string {
 	switch f {
 	case gformat.TSV:
@@ -214,20 +256,26 @@ func main() {
 		out         = flag.String("out", "BENCH_report.json", "report path")
 		short       = flag.Bool("short", false, "CI smoke sweep: scale 12, tsv+adj6, 2 workers")
 		validate    = flag.String("validate", "", "validate an existing report and exit")
+		baseline    = flag.String("baseline", "", "with -validate: compare edges/sec against this reference report")
 	)
 	flag.Parse()
 
 	if *validate != "" {
-		b, err := os.ReadFile(*validate)
+		r, err := loadReport(*validate)
 		if err != nil {
 			fatal(err)
 		}
-		var r report
-		if err := json.Unmarshal(b, &r); err != nil {
-			fatal(fmt.Errorf("parsing %s: %w", *validate, err))
-		}
 		if err := validateReport(r); err != nil {
 			fatal(fmt.Errorf("%s: %w", *validate, err))
+		}
+		if *baseline != "" {
+			base, err := loadReport(*baseline)
+			if err != nil {
+				fatal(err)
+			}
+			if err := compareBaseline(r, base); err != nil {
+				fatal(fmt.Errorf("baseline %s: %w", *baseline, err))
+			}
 		}
 		fmt.Printf("%s: valid (%d runs)\n", *validate, len(r.Runs))
 		return
@@ -281,6 +329,18 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "trilliong-bench: wrote %s (%d runs)\n", *out, len(r.Runs))
+}
+
+func loadReport(path string) (report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return report{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return r, nil
 }
 
 func fatal(err error) {

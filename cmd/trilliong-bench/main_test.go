@@ -71,6 +71,35 @@ func TestValidateReportRejects(t *testing.T) {
 	}
 }
 
+// TestCompareBaseline: the regression gate trips only on a >3x
+// slowdown of a matched run, and refuses a baseline that matches
+// nothing (a dead gate).
+func TestCompareBaseline(t *testing.T) {
+	mk := func(scale int, format string, eps float64) run {
+		return run{Scale: scale, EdgeFactor: 16, Format: format, Workers: 2, EdgesPerSec: eps}
+	}
+	base := report{Schema: benchSchema, Runs: []run{mk(12, "tsv", 3000), mk(12, "adj6", 6000)}}
+
+	// Within tolerance (exactly 1/3 of baseline) and an extra unmatched
+	// run: passes.
+	cur := report{Schema: benchSchema, Runs: []run{mk(12, "tsv", 1000), mk(14, "tsv", 1)}}
+	if err := compareBaseline(cur, base); err != nil {
+		t.Fatalf("1/3 throughput tripped the gate: %v", err)
+	}
+
+	// Just under the floor: trips.
+	cur = report{Schema: benchSchema, Runs: []run{mk(12, "adj6", 1999)}}
+	if err := compareBaseline(cur, base); err == nil {
+		t.Fatal("4x slowdown passed the gate")
+	}
+
+	// Disjoint sweeps: the gate must refuse to pass vacuously.
+	cur = report{Schema: benchSchema, Runs: []run{mk(20, "csr6", 1e9)}}
+	if err := compareBaseline(cur, base); err == nil {
+		t.Fatal("baseline matching no runs passed")
+	}
+}
+
 // TestReportRoundTrip: the written JSON parses back into an equivalent,
 // still-valid report — what the CI validate step consumes.
 func TestReportRoundTrip(t *testing.T) {

@@ -39,6 +39,7 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
 	"repro/internal/skg"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -63,6 +64,8 @@ func main() {
 		threads     = flag.Int("threads", 1, "worker: generation goroutines")
 		out         = flag.String("out", "", "worker: local output directory")
 		maxDials    = flag.Int("max-dials", 0, "worker: consecutive failed connection attempts before giving up (0 = 10)")
+		storeDir    = flag.String("store", "", "worker: artifact store directory (cached ranges are copied, not regenerated)")
+		storeMax    = flag.Int64("store-max-bytes", 0, "worker: store size budget in bytes (0 = unbounded)")
 		faults      = flag.String("faultpoints", "", "arm fault injection, e.g. 'dist.worker.scope=crash*1' (also via "+faultpoint.EnvVar+")")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address")
 		withPprof   = flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof/")
@@ -131,9 +134,17 @@ func main() {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
 		}
+		var st *store.Store
+		if *storeDir != "" {
+			var err error
+			st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax, Telemetry: tel})
+			if err != nil {
+				fatal(err)
+			}
+		}
 		if err := dist.RunWorker(dist.WorkerConfig{
 			MasterAddr: *masterAddr, Threads: *threads, OutDir: *out,
-			MaxDials: *maxDials, Telemetry: tel,
+			MaxDials: *maxDials, Telemetry: tel, Store: st,
 		}); err != nil {
 			fatal(err)
 		}

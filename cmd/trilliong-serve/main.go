@@ -47,6 +47,9 @@ type options struct {
 	depth        int
 	drainTimeout time.Duration
 	pprof        bool
+	storeDir     string
+	storeMax     int64
+	spoolDir     string
 }
 
 func defineFlags(fs *flag.FlagSet) *options {
@@ -59,6 +62,9 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.depth, "depth", 32, "per-producer pipeline depth (scopes)")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", time.Minute, "graceful shutdown bound")
 	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	fs.StringVar(&o.storeDir, "store-dir", "", "artifact store directory: cache streamed artifacts, enable /download")
+	fs.Int64Var(&o.storeMax, "store-max-bytes", 0, "store size budget in bytes (0 = unbounded)")
+	fs.StringVar(&o.spoolDir, "spool-dir", "", "staging directory for in-flight artifact copies (default: inside the store)")
 	return o
 }
 
@@ -75,9 +81,11 @@ func (o *options) validate() error {
 	return nil
 }
 
-// newService builds the service from the flag values.
-func (o *options) newService() *trilliong.Server {
-	return trilliong.NewServer(trilliong.ServerOptions{
+// newService builds the service from the flag values, attaching the
+// artifact store (opened on the service's own telemetry registry, so
+// the store.* metrics appear on /metrics) when -store-dir is set.
+func (o *options) newService() (*trilliong.Server, error) {
+	svc := trilliong.NewServer(trilliong.ServerOptions{
 		MaxActiveStreams: o.maxStreams,
 		MaxJobs:          o.maxJobs,
 		MaxWorkersPerJob: o.maxWorkers,
@@ -85,6 +93,19 @@ func (o *options) newService() *trilliong.Server {
 		PipelineDepth:    o.depth,
 		EnablePprof:      o.pprof,
 	})
+	if o.storeDir != "" {
+		st, err := trilliong.OpenStore(o.storeDir, trilliong.StoreOptions{
+			MaxBytes:  o.storeMax,
+			Telemetry: svc.Telemetry(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.SetStore(st, o.spoolDir); err != nil {
+			return nil, err
+		}
+	}
+	return svc, nil
 }
 
 func main() {
@@ -93,7 +114,10 @@ func main() {
 	if err := o.validate(); err != nil {
 		fatal(err)
 	}
-	svc := o.newService()
+	svc, err := o.newService()
+	if err != nil {
+		fatal(err)
+	}
 	httpSrv := &http.Server{Addr: o.addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

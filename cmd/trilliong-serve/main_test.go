@@ -97,7 +97,10 @@ func TestServeScale20EndToEnd(t *testing.T) {
 	if err := fs.Parse([]string{"-max-streams", "3"}); err != nil {
 		t.Fatal(err)
 	}
-	svc := o.newService()
+	svc, err := o.newService()
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 

@@ -6,6 +6,7 @@
 //	trilliong -scale 20 -out /data/graph -format adj6
 //	trilliong -scale 24 -noise 0.1 -format csr6 -workers 8 -out out/
 //	trilliong -scale 16 -seed 0.45,0.22,0.22,0.11 -format tsv -out out/
+//	trilliong -scale 22 -out out/ -store /var/cache/trilliong   # reruns hit the cache
 //
 // The output directory receives one part file per worker; the graph is
 // a pure function of (flags, -master), independent of -workers.
@@ -35,6 +36,8 @@ func main() {
 		dryRun     = flag.Bool("dryrun", false, "generate and count without writing files")
 		estimate   = flag.Bool("estimate", false, "print analytic size estimate and exit (no generation)")
 		resume     = flag.Bool("resume", false, "atomic part files; skip parts that already exist")
+		storeDir   = flag.String("store", "", "artifact store directory: cache parts across runs (implies -resume)")
+		storeMax   = flag.Int64("store-max-bytes", 0, "store size budget in bytes (0 = unbounded); excess evicted LRU")
 	)
 	flag.Parse()
 
@@ -70,7 +73,10 @@ func main() {
 		return
 	}
 
-	var st trilliong.Stats
+	var (
+		st    trilliong.Stats
+		cache *trilliong.Store
+	)
 	if *dryRun {
 		st, err = cfg.Count(f)
 	} else {
@@ -80,7 +86,13 @@ func main() {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
 		}
-		if *resume {
+		if *storeDir != "" {
+			cache, err = trilliong.OpenStore(*storeDir, trilliong.StoreOptions{MaxBytes: *storeMax})
+			if err != nil {
+				fatal(err)
+			}
+			st, err = cfg.ResumeToDirCached(*out, f, cache)
+		} else if *resume {
 			st, err = cfg.ResumeToDir(*out, f)
 		} else {
 			st, err = cfg.GenerateToDir(*out, f)
@@ -98,6 +110,12 @@ func main() {
 	fmt.Printf("plan / generate  %v / %v\n", st.PlanDuration, st.GenDuration)
 	fmt.Printf("elapsed          %v\n", st.Elapsed)
 	fmt.Printf("peak worker mem  %d bytes (O(d_max))\n", st.PeakWorkerBytes)
+	if cache != nil {
+		cs := cache.Stats()
+		fmt.Printf("parts from cache %d\n", st.PartsFromCache)
+		fmt.Printf("store            %d objects, %d bytes (hits %d, misses %d, ingests %d)\n",
+			cs.Objects, cs.Bytes, cs.Hits, cs.Misses, cs.Ingests)
+	}
 }
 
 func parseSeed(spec string) (trilliong.Seed, error) {

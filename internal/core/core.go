@@ -142,6 +142,10 @@ type Stats struct {
 	// PlanDuration is the Figure 6 partitioning time; GenDuration the
 	// generation+write time; Elapsed their sum.
 	PlanDuration, GenDuration, Elapsed time.Duration
+	// PartsFromCache counts parts satisfied from an artifact store
+	// instead of generated (ResumeToDirStore and the cache-aware
+	// distributed workers).
+	PartsFromCache int
 	// Ranges is the executed partition.
 	Ranges []partition.Range
 }

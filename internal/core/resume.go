@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"time"
 
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
@@ -22,14 +21,21 @@ func PartPath(dir string, format gformat.Format, idx int) string {
 
 // MissingParts filters (ranges, ids) — parallel slices pairing each
 // vertex range with its global part index — down to the pairs whose
-// part file does not yet exist in dir. A part file present under its
-// final name is complete (the atomic sinks guarantee it), so it can be
-// skipped; this is the resume-skip logic shared by ResumeToDir and the
-// distributed worker.
+// part file does not exist *complete* in dir. A part file under its
+// final name is normally complete (the atomic sinks guarantee it under
+// ordered rename), but a kill -9 on a filesystem without that ordering
+// or external corruption can leave a damaged file there, so each
+// present part is structurally verified with CheckPart; failures are
+// deleted and re-listed as missing. This is the resume-skip logic
+// shared by ResumeToDir and the distributed worker.
 func MissingParts(dir string, format gformat.Format, ranges []partition.Range, ids []int) (missing []partition.Range, missingIDs []int) {
 	for i, r := range ranges {
-		if _, err := os.Stat(PartPath(dir, format, ids[i])); err == nil {
-			continue
+		path := PartPath(dir, format, ids[i])
+		if _, err := os.Stat(path); err == nil {
+			if CheckPart(path, format) == nil {
+				continue
+			}
+			os.Remove(path)
 		}
 		missing = append(missing, r)
 		missingIDs = append(missingIDs, ids[i])
@@ -214,47 +220,15 @@ func checkOrWriteManifest(dir string, cfg Config, format gformat.Format, parts i
 }
 
 // ResumeToDir generates the graph into dir with atomic part files,
-// skipping every part that already exists completely — so an
-// interrupted run continues where it stopped, and a finished run is a
-// no-op. The configuration (including Workers, which fixes the
-// partition) must match the original run; a manifest written alongside
-// the parts detects a mismatched resume and fails it instead of mixing
-// two partitions in one directory. The resulting file set is
-// bit-identical to an uninterrupted one.
+// skipping every part that already exists complete (each present part
+// is structurally verified, not just stat'ed) — so an interrupted run
+// continues where it stopped, and a finished run is a no-op. The
+// configuration (including Workers, which fixes the partition) must
+// match the original run; a manifest written alongside the parts
+// detects a mismatched resume and fails it instead of mixing two
+// partitions in one directory. The resulting file set is bit-identical
+// to an uninterrupted one. ResumeToDirStore (cache.go) is this plus an
+// artifact store.
 func ResumeToDir(cfg Config, dir string, format gformat.Format) (Stats, error) {
-	if err := cfg.Validate(); err != nil {
-		return Stats{}, err
-	}
-	workers := cfg.workers()
-	planStart := time.Now()
-	ranges, err := Plan(cfg, workers)
-	if err != nil {
-		return Stats{}, err
-	}
-	planDur := time.Since(planStart)
-
-	if err := checkOrWriteManifest(dir, cfg, format, len(ranges)); err != nil {
-		return Stats{}, err
-	}
-	// Sweep leftover temporaries from a crashed run.
-	if err := SweepTemps(dir); err != nil {
-		return Stats{}, err
-	}
-
-	ids := make([]int, len(ranges))
-	for i := range ids {
-		ids[i] = i
-	}
-	missing, missingIDs := MissingParts(dir, format, ranges, ids)
-	if len(missing) == 0 {
-		return Stats{PlanDuration: planDur, Elapsed: planDur, Ranges: ranges}, nil
-	}
-	st, err := GenerateRanges(cfg, missing, AtomicPartSinks(dir, format, cfg.NumVertices(), missingIDs))
-	if err != nil {
-		return st, err
-	}
-	st.PlanDuration = planDur
-	st.Elapsed = planDur + st.GenDuration
-	st.Ranges = ranges
-	return st, nil
+	return ResumeToDirStore(cfg, dir, format, nil)
 }

@@ -106,10 +106,13 @@ type Summary struct {
 	PeakBytes    int64
 	BytesWritten int64
 	// SkippedParts counts leased parts workers skipped because their
-	// files already existed (resumed work). Requeues counts leases
-	// returned to the queue after a disconnect, stall or failure.
-	SkippedParts int
-	Requeues     int
+	// files already existed (resumed work). PartsFromCache counts parts
+	// workers satisfied from their artifact store instead of
+	// generating. Requeues counts leases returned to the queue after a
+	// disconnect, stall or failure.
+	SkippedParts   int
+	PartsFromCache int
+	Requeues       int
 	// PlanDuration is the master-side planning time; Elapsed the wall
 	// time from gate open to last completion.
 	PlanDuration, Elapsed time.Duration
@@ -434,6 +437,7 @@ func (m *Master) handleWorker(conn net.Conn) {
 			case Done:
 				m.tel.Counter(MetricMasterEdges).Add(r.Edges)
 				m.tel.Counter(MetricPartsSkipped).Add(int64(r.Skipped))
+				m.tel.Counter(MetricPartsFromCache).Add(int64(r.FromCache))
 				if r.GenDuration > 0 && r.Edges > 0 {
 					m.tel.Histogram(MetricWorkerEdgesPerSec).Observe(float64(r.Edges) / r.GenDuration.Seconds())
 				}
@@ -449,6 +453,7 @@ func (m *Master) handleWorker(conn net.Conn) {
 				m.sum.Attempts += r.Attempts
 				m.sum.BytesWritten += r.BytesWritten
 				m.sum.SkippedParts += r.Skipped
+				m.sum.PartsFromCache += r.FromCache
 				if r.MaxDegree > m.sum.MaxDegree {
 					m.sum.MaxDegree = r.MaxDegree
 				}

@@ -78,6 +78,9 @@ type Done struct {
 	// Skipped counts leased parts the worker did not regenerate
 	// because their files already existed (resume after restart).
 	Skipped int
+	// FromCache counts leased parts satisfied from the worker's
+	// artifact store (checksum-verified) instead of generated.
+	FromCache int
 }
 
 // Fail reports a worker-side error for the current lease; the master

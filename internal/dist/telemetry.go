@@ -13,6 +13,7 @@ const (
 	MetricRangeAttempts  = "dist.master.range_attempts"
 	MetricPartsCompleted = "dist.master.parts_completed"
 	MetricPartsSkipped   = "dist.master.parts_skipped"
+	MetricPartsFromCache = "dist.master.parts_from_cache"
 	MetricMasterEdges    = "dist.master.edges_total"
 	// Fleet gauges/counters.
 	MetricWorkersActive     = "dist.master.workers_active"
@@ -26,6 +27,7 @@ const (
 	MetricWorkerReconnects = "dist.worker.reconnects_total"
 	MetricWorkerLeases     = "dist.worker.leases_total"
 	MetricWorkerSkips      = "dist.worker.parts_skipped_total"
+	MetricWorkerCacheHits  = "dist.worker.store_hits_total"
 	MetricWorkerFailures   = "dist.worker.failures_total"
 	MetricHeartbeatSend    = "dist.worker.heartbeat_send_seconds"
 )

@@ -15,6 +15,7 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
 	"repro/internal/partition"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -45,6 +46,12 @@ type WorkerConfig struct {
 	// waiting for a lease legitimately lasts until other workers free
 	// up work. 0 leaves the writes unbounded.
 	HandshakeTimeout time.Duration
+	// Store, when set, is consulted before generating each leased
+	// range (a checksum-verified hit materializes the part without
+	// regeneration) and receives every part this worker generates, so
+	// requeue-after-crash and repeat runs become lookups. nil disables
+	// caching.
+	Store *store.Store
 	// Telemetry receives the worker's lease/heartbeat metrics plus the
 	// core generation stages of every lease it executes (serve it via
 	// trilliong-dist's -metrics-addr). nil uses a private registry.
@@ -195,6 +202,15 @@ func executeLease(job Job, cfg WorkerConfig, conn net.Conn, send func(interface{
 	skipped := len(job.Ranges) - len(missing)
 	cfg.Telemetry.Counter(MetricWorkerSkips).Add(int64(skipped))
 
+	// Consult the artifact store before generating: any range generated
+	// before — by this worker, a previous incarnation, or anyone sharing
+	// the store — is a verified copy instead of a regeneration.
+	missing, missingIDs, fromCache, err := core.FetchFromStore(cfg.Store, job.Config, cfg.OutDir, job.Format, missing, missingIDs)
+	if err != nil {
+		return Done{}, err
+	}
+	cfg.Telemetry.Counter(MetricWorkerCacheHits).Add(int64(fromCache))
+
 	var scopes atomic.Int64
 	stop := make(chan struct{})
 	var hb sync.WaitGroup
@@ -231,15 +247,18 @@ func executeLease(job Job, cfg WorkerConfig, conn net.Conn, send func(interface{
 	}
 
 	var st core.Stats
-	var err error
 	if len(missing) > 0 {
 		// Atomic sinks: a crashed worker leaves only .tmp litter, never
 		// a truncated part file, so a restart can trust what it finds.
-		// ObservedSinks feeds the per-format byte/edge counters and
+		// IngestingSinks publishes each finished part into the store
+		// (after the atomic rename, before telemetry). ObservedSinks
+		// feeds the per-format byte/edge counters and
 		// GenerateRangesObserved the stage spans, so a worker's
 		// -metrics-addr shows live core-pipeline throughput.
 		sinks := core.ObservedSinks(
-			core.AtomicPartSinks(cfg.OutDir, job.Format, job.Config.NumVertices(), missingIDs),
+			core.IngestingSinks(
+				core.AtomicPartSinks(cfg.OutDir, job.Format, job.Config.NumVertices(), missingIDs),
+				cfg.Store, job.Config, cfg.OutDir, job.Format, missingIDs),
 			job.Format, cfg.Telemetry)
 		st, err = core.GenerateRangesObserved(job.Config, missing, progressSinks(sinks, &scopes), cfg.Telemetry)
 	}
@@ -256,6 +275,7 @@ func executeLease(job Job, cfg WorkerConfig, conn net.Conn, send func(interface{
 		BytesWritten:    st.BytesWritten,
 		GenDuration:     st.GenDuration,
 		Skipped:         skipped,
+		FromCache:       fromCache,
 	}, nil
 }
 

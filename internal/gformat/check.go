@@ -1,0 +1,55 @@
+package gformat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// CheckCSR6 structurally validates a CSR6 file without loading it: the
+// magic, the header's vertex/edge counts against the file size
+// (header + offsets + neighbours must account for every byte), and the
+// final offset against the declared edge count. It catches truncation
+// and torn writes in O(1) I/O; it does not re-read the adjacency
+// payload, so callers needing bit-level certainty should pair it with a
+// checksum.
+func CheckCSR6(rs io.ReadSeeker) error {
+	size, err := rs.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	head := make([]byte, csrHeaderSize)
+	if _, err := io.ReadFull(rs, head); err != nil {
+		return fmt.Errorf("gformat: reading CSR6 header: %w", err)
+	}
+	for i, m := range csrMagic {
+		if head[i] != m {
+			return errors.New("gformat: not a CSR6 file (bad magic)")
+		}
+	}
+	nv := int64(binary.LittleEndian.Uint64(head[8:]))
+	ne := int64(binary.LittleEndian.Uint64(head[16:]))
+	if nv < 0 || nv > MaxVertexID+1 || ne < 0 {
+		return fmt.Errorf("gformat: CSR6 header declares %d vertices / %d edges", nv, ne)
+	}
+	want := int64(csrHeaderSize) + 8*(nv+1) + 6*ne
+	if size != want {
+		return fmt.Errorf("gformat: CSR6 file is %d bytes, header implies %d", size, want)
+	}
+	// The last offset must close the neighbour section exactly.
+	if _, err := rs.Seek(int64(csrHeaderSize)+8*nv, io.SeekStart); err != nil {
+		return err
+	}
+	var ob [8]byte
+	if _, err := io.ReadFull(rs, ob[:]); err != nil {
+		return fmt.Errorf("gformat: reading CSR6 final offset: %w", err)
+	}
+	if last := binary.LittleEndian.Uint64(ob[:]); last != uint64(ne) {
+		return fmt.Errorf("gformat: CSR6 offset table ends at %d, want %d edges", last, ne)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/gformat"
+	"repro/internal/partition"
+	"repro/internal/store"
+)
+
+// SetStore attaches a content-addressed artifact store to the server:
+// streams are satisfied from it when the job's (config, range, format)
+// key is present (X-Trilliong-Cache: hit), completed streams are
+// ingested into it, and GET /v1/jobs/{id}/download serves cached
+// artifacts whole. spoolDir stages in-flight copies; "" puts it inside
+// the store. Call before serving requests — the field is not
+// synchronized against in-flight handlers. Open the store with the
+// server's Telemetry() registry to surface the store.* metrics on
+// /metrics.
+func (s *Server) SetStore(st *store.Store, spoolDir string) error {
+	if spoolDir == "" {
+		spoolDir = filepath.Join(st.Dir(), "spool")
+	}
+	if err := os.MkdirAll(spoolDir, 0o755); err != nil {
+		return fmt.Errorf("server: spool dir: %w", err)
+	}
+	s.store = st
+	s.spoolDir = spoolDir
+	return nil
+}
+
+// jobKey derives the artifact key of a job's exact output: the part
+// bytes of its vertex range in its format. It is core.PartKey, so
+// server jobs share cache entries with batch and distributed runs of
+// the same configuration.
+func jobKey(job *Job) store.Key {
+	return core.PartKey(job.cfg, job.format, partition.Range{Lo: job.lo, Hi: job.hi})
+}
+
+// serveFromStore satisfies a started stream from the artifact store.
+// It reports whether it did; false means a miss (or a corrupt entry,
+// already evicted) and the caller generates. Hits stream through the
+// normal byte/edge accounting so job status and metrics read the same
+// as a generated run.
+func (s *Server) serveFromStore(w http.ResponseWriter, out *flushWriter, job *Job) (bool, error) {
+	spool, err := os.CreateTemp(s.spoolDir, "hit-*")
+	if err != nil {
+		return false, err
+	}
+	spoolPath := spool.Name()
+	spool.Close()
+	os.Remove(spoolPath) // Retrieve re-creates it atomically
+	defer os.Remove(spoolPath)
+
+	info, ok, err := s.store.Retrieve(jobKey(job), spoolPath)
+	if err != nil || !ok {
+		return false, err
+	}
+	f, err := os.Open(spoolPath)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+
+	w.Header().Set("X-Trilliong-Cache", "hit")
+	if _, err := io.Copy(out, f); err != nil {
+		return true, err
+	}
+	// The artifact carries its edge count as sidecar metadata; scopes
+	// are exactly the vertex range (StreamRange emits one per vertex).
+	job.scopes.Store(job.hi - job.lo)
+	job.edges.Store(info.Edges)
+	s.metrics.scopesTotal.Add(job.hi - job.lo)
+	s.metrics.addEdges(info.Edges)
+	return true, nil
+}
+
+// spoolWriter tees a generating stream into a spool file so a clean
+// finish can be ingested into the store. Spooling is best-effort: a
+// spool-side write error (disk full, …) abandons the copy but never
+// disturbs the client's stream.
+type spoolWriter struct {
+	io.Writer // the client
+	f         *os.File
+	broken    bool
+}
+
+func (sw *spoolWriter) Write(p []byte) (int, error) {
+	n, err := sw.Writer.Write(p)
+	if !sw.broken && n > 0 {
+		if _, werr := sw.f.Write(p[:n]); werr != nil {
+			sw.broken = true
+		}
+	}
+	return n, err
+}
+
+// ingestSpooled finishes the miss path: if the stream completed cleanly
+// and the spool copy is intact, the artifact enters the store.
+func (s *Server) ingestSpooled(sw *spoolWriter, job *Job, streamErr error) {
+	path := sw.f.Name()
+	defer os.Remove(path)
+	syncErr := sw.f.Sync()
+	closeErr := sw.f.Close()
+	if streamErr != nil || sw.broken || syncErr != nil || closeErr != nil {
+		return
+	}
+	// Ingest failures are deliberately swallowed: the client got its
+	// stream; the cache just stays cold. The store's own metrics make
+	// persistent ingest trouble visible.
+	s.store.IngestFile(jobKey(job), path, job.edges.Load())
+}
+
+// handleDownload serves a job's complete artifact from the store (the
+// whole-file dual of /stream: re-downloadable, Content-Length, no
+// generation). 404 with X-Trilliong-Cache: miss means the artifact is
+// not cached — stream the job (or re-run it) to materialize it.
+func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "no artifact store configured")
+		return
+	}
+	spool, err := os.CreateTemp(s.spoolDir, "dl-*")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "spool: %v", err)
+		return
+	}
+	spoolPath := spool.Name()
+	spool.Close()
+	os.Remove(spoolPath)
+	defer os.Remove(spoolPath)
+
+	info, ok, err := s.store.Retrieve(jobKey(job), spoolPath)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "store: %v", err)
+		return
+	}
+	if !ok {
+		w.Header().Set("X-Trilliong-Cache", "miss")
+		writeError(w, http.StatusNotFound, "artifact for job %s is not cached", job.ID)
+		return
+	}
+	f, err := os.Open(spoolPath)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "spool: %v", err)
+		return
+	}
+	defer f.Close()
+
+	if job.format == gformat.TSV {
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	w.Header().Set("X-Trilliong-Cache", "hit")
+	w.Header().Set("X-Trilliong-Job-Id", job.ID)
+	w.Header().Set("Content-Length", fmt.Sprint(info.Size))
+	w.WriteHeader(http.StatusOK)
+	n, _ := io.Copy(w, f)
+	s.metrics.bytesTotal.Add(n)
+}

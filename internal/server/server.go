@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/gformat"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -76,6 +78,12 @@ type Server struct {
 	// retryPolicy turns the streak into the advertised Retry-After.
 	rejectStreak atomic.Int64
 	retryPolicy  backoff.Policy
+
+	// store, when set via SetStore, caches completed job artifacts and
+	// satisfies repeat jobs without regeneration; spoolDir stages
+	// in-flight copies.
+	store    *store.Store
+	spoolDir string
 }
 
 // New builds a Server with the given options.
@@ -93,6 +101,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/download", s.handleDownload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/vars", s.metrics.handler)
 	s.mux.HandleFunc("GET /metrics", s.metrics.promHandler)
@@ -318,17 +327,51 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	flusher, _ := w.(http.Flusher)
 	out := &flushWriter{w: w, flusher: flusher, job: job, metrics: s.metrics}
-	_, err := StreamRange(ctx, job.cfg, job.format, job.lo, job.hi, out, StreamOptions{
-		Workers: job.cfg.Workers,
-		Depth:   s.opts.PipelineDepth,
-		OnScope: func(_ int64, edges int) {
-			job.scopes.Add(1)
-			job.edges.Add(int64(edges))
-			s.metrics.scopesTotal.Add(1)
-			s.metrics.addEdges(int64(edges))
-		},
-	})
+
+	// With a store attached, a cached artifact satisfies the stream
+	// without generation; a generated stream is spooled and ingested so
+	// the next identical job hits.
+	var err error
+	if s.store != nil {
+		served, serveErr := s.serveFromStore(w, out, job)
+		if served {
+			job.finish(serveErr, ctx.Err())
+			s.finishMetrics(job)
+			return
+		}
+		err = serveErr
+	}
+	if err == nil {
+		streamOut := io.Writer(out)
+		var sw *spoolWriter
+		if s.store != nil {
+			w.Header().Set("X-Trilliong-Cache", "miss")
+			if spool, terr := os.CreateTemp(s.spoolDir, "gen-*"); terr == nil {
+				sw = &spoolWriter{Writer: out, f: spool}
+				streamOut = sw
+			}
+			// A spool-temp failure just means this stream isn't cached.
+		}
+		_, err = StreamRange(ctx, job.cfg, job.format, job.lo, job.hi, streamOut, StreamOptions{
+			Workers: job.cfg.Workers,
+			Depth:   s.opts.PipelineDepth,
+			OnScope: func(_ int64, edges int) {
+				job.scopes.Add(1)
+				job.edges.Add(int64(edges))
+				s.metrics.scopesTotal.Add(1)
+				s.metrics.addEdges(int64(edges))
+			},
+		})
+		if sw != nil {
+			s.ingestSpooled(sw, job, err)
+		}
+	}
 	job.finish(err, ctx.Err())
+	s.finishMetrics(job)
+}
+
+// finishMetrics records a finished stream's terminal state.
+func (s *Server) finishMetrics(job *Job) {
 	switch job.State() {
 	case StateDone:
 		s.metrics.jobsDone.Add(1)

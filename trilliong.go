@@ -32,6 +32,7 @@ import (
 	"repro/internal/recvec"
 	"repro/internal/server"
 	"repro/internal/skg"
+	"repro/internal/store"
 )
 
 // Seed is the 2x2 stochastic seed matrix [A B; C D] (α, β, γ, δ in the
@@ -163,6 +164,29 @@ func (c Config) GenerateToDir(dir string, format Format) (Stats, error) {
 // configuration and directory to finish exactly where it stopped.
 func (c Config) ResumeToDir(dir string, format Format) (Stats, error) {
 	return core.ResumeToDir(c.toCore(), dir, format)
+}
+
+// Store is a crash-safe content-addressed artifact store caching
+// generated parts; see docs/STORE.md. Because the graph is a pure
+// function of (Config, MasterSeed), any run — batch, distributed or
+// server — can satisfy its parts from a store another run populated.
+type Store = store.Store
+
+// StoreOptions configures OpenStore; see internal/store.Options.
+type StoreOptions = store.Options
+
+// OpenStore opens (creating if needed) the artifact store rooted at
+// dir.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	return store.Open(dir, opts)
+}
+
+// ResumeToDirCached is ResumeToDir backed by an artifact store: parts
+// whose keys are cached are materialized from the store
+// (checksum-verified) instead of regenerated, and generated parts are
+// ingested for the next run. Stats.PartsFromCache reports the hits.
+func (c Config) ResumeToDirCached(dir string, format Format, st *Store) (Stats, error) {
+	return core.ResumeToDirStore(c.toCore(), dir, format, st)
 }
 
 // GenerateFunc streams every generated scope (source vertex and its
