@@ -10,6 +10,7 @@
 //
 //	trilliong-bench -scales 20,22 -formats tsv,adj6 -workers 1,4
 //	trilliong-bench -short                  # CI smoke sweep (seconds)
+//	trilliong-bench -short -tenants 3       # + mixed-workload scheduler bench
 //	trilliong-bench -validate BENCH_report.json
 //
 // The report lands in -out (default BENCH_report.json); -validate
@@ -21,9 +22,17 @@
 // workers) must reach at least a third of the baseline's edges/sec —
 // loose enough for shared CI runners, tight enough to catch an
 // order-of-magnitude regression.
+//
+// -tenants N appends a mixed-workload scheduler section: N tenants at
+// weights 1..N and rotating priority classes saturate a two-slot
+// fair-share scheduler (internal/sched) with real small generations,
+// and the report records total grants, per-tenant shares, and queue
+// wait-time quantiles from the scheduler's own histogram. Validation
+// fails the report if any tenant starves.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,10 +40,13 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/gformat"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -48,13 +60,14 @@ const benchStage = "bench.run"
 
 // report is the BENCH_report.json document.
 type report struct {
-	Schema    string    `json:"schema"`
-	GoVersion string    `json:"go_version"`
-	GOOS      string    `json:"goos"`
-	GOARCH    string    `json:"goarch"`
-	CPUs      int       `json:"cpus"`
-	Started   time.Time `json:"started"`
-	Runs      []run     `json:"runs"`
+	Schema    string       `json:"schema"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	CPUs      int          `json:"cpus"`
+	Started   time.Time    `json:"started"`
+	Runs      []run        `json:"runs"`
+	Sched     *schedReport `json:"sched,omitempty"`
 }
 
 // run is one swept combination.
@@ -132,6 +145,116 @@ func benchOne(scale int, edgeFactor int64, format gformat.Format, workers int, m
 	return r, nil
 }
 
+// schedReport is the -tenants mixed-workload section: N tenants at
+// weights 1..N and rotating priority classes contend for a handful of
+// scheduler slots, each grant performing a real small generation. The
+// queue wait-time quantiles are read back from the scheduler's own
+// sched.wait_seconds histogram, so the report doubles as a check that
+// the admission telemetry measures real waits.
+type schedReport struct {
+	Tenants   int          `json:"tenants"`
+	Slots     int          `json:"slots"`
+	Seconds   float64      `json:"seconds"`
+	Grants    int64        `json:"grants"`
+	WaitP50   float64      `json:"wait_p50_seconds"`
+	WaitP90   float64      `json:"wait_p90_seconds"`
+	WaitP99   float64      `json:"wait_p99_seconds"`
+	PerTenant []tenantSlab `json:"per_tenant"`
+}
+
+// tenantSlab is one tenant's share of the mixed-workload run.
+type tenantSlab struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+	Class  string `json:"class"`
+	Grants int64  `json:"grants"`
+	Edges  int64  `json:"edges_granted"`
+}
+
+// benchSched runs the mixed-workload scheduler bench: every tenant
+// keeps two submitters looping acquire → generate → release for about
+// a second, so the queue stays saturated and fair-share order (not
+// arrival order) decides who runs.
+func benchSched(n int, masterSeed uint64) (*schedReport, error) {
+	const slots = 2
+	const runFor = 1200 * time.Millisecond
+	cfg := core.DefaultConfig(8)
+	cfg.MasterSeed = masterSeed
+	cfg.Workers = 1
+	cost := cfg.NumEdges()
+
+	classes := []sched.Class{sched.Interactive, sched.Batch, sched.Background}
+	names := make([]string, n)
+	limits := make(map[string]sched.Limits, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-%d", i+1)
+		// QueueTTL -1: never shed — the bench saturates on purpose.
+		limits[names[i]] = sched.Limits{Weight: i + 1, QueueTTL: -1}
+	}
+	s := sched.New(sched.Config{Slots: slots, Tenants: limits})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	grants := make([]atomic.Int64, n)
+	var failed atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range names {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(i, w int) {
+				defer wg.Done()
+				workCfg := cfg
+				workCfg.MasterSeed = masterSeed + uint64(16*i+w+1)
+				for {
+					g, err := s.Acquire(ctx, sched.Request{
+						Tenant: names[i],
+						Class:  classes[i%len(classes)],
+						Cost:   cost,
+					})
+					if err != nil {
+						return // ctx canceled: the run is over
+					}
+					_, genErr := core.Generate(workCfg, core.DiscardSinks(gformat.ADJ6))
+					g.Release()
+					if genErr != nil {
+						failed.Store(genErr)
+						return
+					}
+					grants[i].Add(1)
+				}
+			}(i, w)
+		}
+	}
+	time.Sleep(runFor)
+	cancel()
+	wg.Wait()
+	if err, ok := failed.Load().(error); ok {
+		return nil, err
+	}
+
+	tel := s.Telemetry()
+	wait := tel.Histogram(sched.MetricWaitSeconds)
+	rep := &schedReport{
+		Tenants: n,
+		Slots:   slots,
+		Seconds: time.Since(start).Seconds(),
+		Grants:  tel.CounterValue(sched.MetricGranted),
+		WaitP50: wait.Quantile(0.5),
+		WaitP90: wait.Quantile(0.9),
+		WaitP99: wait.Quantile(0.99),
+	}
+	for i, name := range names {
+		rep.PerTenant = append(rep.PerTenant, tenantSlab{
+			Name:   name,
+			Weight: i + 1,
+			Class:  classes[i%len(classes)].String(),
+			Grants: grants[i].Load(),
+			Edges:  grants[i].Load() * cost,
+		})
+	}
+	return rep, nil
+}
+
 // validateReport enforces the schema and the sanity bounds CI gates on.
 func validateReport(r report) error {
 	if r.Schema != benchSchema {
@@ -156,6 +279,24 @@ func validateReport(r report) error {
 		}
 		if len(run.Stages) == 0 {
 			return fmt.Errorf("%s: no stage snapshots", where)
+		}
+	}
+	if s := r.Sched; s != nil {
+		if s.Tenants < 1 || s.Slots < 1 || len(s.PerTenant) != s.Tenants {
+			return fmt.Errorf("sched: %d tenants with %d per-tenant rows, %d slots", s.Tenants, len(s.PerTenant), s.Slots)
+		}
+		if s.Grants <= 0 || s.Seconds <= 0 {
+			return fmt.Errorf("sched: empty run (%d grants over %gs)", s.Grants, s.Seconds)
+		}
+		if s.WaitP50 < 0 || s.WaitP90 < 0 || s.WaitP99 < 0 {
+			return fmt.Errorf("sched: negative wait quantiles (%g/%g/%g)", s.WaitP50, s.WaitP90, s.WaitP99)
+		}
+		for _, tr := range s.PerTenant {
+			// Weighted fair share guarantees progress for every tenant —
+			// a zero here means starvation, exactly what the gate is for.
+			if tr.Grants <= 0 {
+				return fmt.Errorf("sched: tenant %s (weight %d, %s) starved", tr.Name, tr.Weight, tr.Class)
+			}
 		}
 	}
 	return nil
@@ -255,6 +396,7 @@ func main() {
 		masterSeed  = flag.Uint64("masterseed", 1, "random master seed")
 		out         = flag.String("out", "BENCH_report.json", "report path")
 		short       = flag.Bool("short", false, "CI smoke sweep: scale 12, tsv+adj6, 2 workers")
+		tenantsN    = flag.Int("tenants", 0, "mixed-workload scheduler bench: N tenants at weights 1..N contending for slots (0 = off)")
 		validate    = flag.String("validate", "", "validate an existing report and exit")
 		baseline    = flag.String("baseline", "", "with -validate: compare edges/sec against this reference report")
 	)
@@ -317,6 +459,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "trilliong-bench: %d combinations\n", len(sc)*len(efs)*len(fs)*len(ws))
 	if r.Runs, err = sweep(sc, efs, fs, ws, *masterSeed); err != nil {
 		fatal(err)
+	}
+	if *tenantsN > 0 {
+		fmt.Fprintf(os.Stderr, "trilliong-bench: mixed workload, %d tenants\n", *tenantsN)
+		if r.Sched, err = benchSched(*tenantsN, *masterSeed); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "  sched: %d grants, wait p50/p90/p99 %.4f/%.4f/%.4f s\n",
+			r.Sched.Grants, r.Sched.WaitP50, r.Sched.WaitP90, r.Sched.WaitP99)
 	}
 	if err := validateReport(r); err != nil {
 		fatal(fmt.Errorf("self-check: %w", err))

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/gformat"
+	"repro/internal/telemetry"
 )
 
 // TestSweepProducesValidReport: a small sweep yields a report that
@@ -97,6 +98,43 @@ func TestCompareBaseline(t *testing.T) {
 	cur = report{Schema: benchSchema, Runs: []run{mk(20, "csr6", 1e9)}}
 	if err := compareBaseline(cur, base); err == nil {
 		t.Fatal("baseline matching no runs passed")
+	}
+}
+
+// TestBenchSched: the mixed-workload section reports real contention —
+// every tenant makes progress, the grant total matches the per-tenant
+// sum, and the section passes (and can fail) the report gate.
+func TestBenchSched(t *testing.T) {
+	s, err := benchSched(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := report{Schema: benchSchema, Runs: []run{{Scale: 8, EdgeFactor: 16, Format: "tsv", Workers: 1,
+		Scopes: 1, Edges: 1, Bytes: 1, Seconds: 1, EdgesPerSec: 1,
+		Stages: map[string]telemetry.StageSnapshot{benchStage: {Calls: 1}}}}, Sched: s}
+	if err := validateReport(r); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tenants != 3 || len(s.PerTenant) != 3 {
+		t.Fatalf("sched section %+v", s)
+	}
+	var sum int64
+	for _, tr := range s.PerTenant {
+		if tr.Grants <= 0 {
+			t.Fatalf("tenant %s starved: %+v", tr.Name, tr)
+		}
+		sum += tr.Grants
+	}
+	// The scheduler's counter may run a few grants ahead: a grant that
+	// races the shutdown cancel is counted, then auto-released without
+	// reaching the submitter. It can never run behind.
+	if sum > s.Grants {
+		t.Fatalf("per-tenant grants sum %d exceeds scheduler total %d", sum, s.Grants)
+	}
+	// The gate exists to catch starvation: a zeroed tenant must fail it.
+	s.PerTenant[0].Grants = 0
+	if err := validateReport(r); err == nil {
+		t.Fatal("starved tenant passed validation")
 	}
 }
 

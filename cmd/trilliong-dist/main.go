@@ -60,6 +60,7 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", 0, "master: heartbeat interval workers must keep (0 = 2s)")
 		resultTO    = flag.Duration("result-timeout", 0, "master: max silence on a leased connection (0 = 5 heartbeats)")
 		maxRetries  = flag.Int("max-retries", 0, "master: requeues per range before aborting (0 = 2)")
+		maxLease    = flag.Int("max-lease", 0, "master: ranges per lease regardless of worker threads (0 = no cap)")
 		masterAddr  = flag.String("master", "", "worker: master host:port")
 		threads     = flag.Int("threads", 1, "worker: generation goroutines")
 		out         = flag.String("out", "", "worker: local output directory")
@@ -108,7 +109,8 @@ func main() {
 			Parts: *parts, Config: cfg, Format: f,
 			AcceptTimeout: *acceptTO, HeartbeatInterval: *heartbeat,
 			ResultTimeout: *resultTO, MaxRetries: *maxRetries,
-			Telemetry: tel,
+			MaxLeaseRanges: *maxLease,
+			Telemetry:      tel,
 		})
 		if err != nil {
 			fatal(err)

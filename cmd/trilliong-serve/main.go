@@ -7,6 +7,8 @@
 //
 //	trilliong-serve -addr :8080
 //	trilliong-serve -addr :8080 -max-streams 8 -max-scale 30
+//	trilliong-serve -tenant 'alice,weight=3,rate=1e6' -tenant 'bob' \
+//	    -tenant-defaults 'max-queued=16,ttl=10s'
 //
 // Then:
 //
@@ -30,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,23 +42,31 @@ import (
 // options collects the flag values so tests can exercise the plumbing
 // without a listener.
 type options struct {
-	addr         string
-	maxStreams   int
-	maxJobs      int
-	maxWorkers   int
-	maxScale     int
-	depth        int
-	drainTimeout time.Duration
-	pprof        bool
-	storeDir     string
-	storeMax     int64
-	spoolDir     string
+	addr           string
+	maxStreams     int
+	maxJobs        int
+	maxWorkers     int
+	maxScale       int
+	depth          int
+	drainTimeout   time.Duration
+	pprof          bool
+	storeDir       string
+	storeMax       int64
+	spoolDir       string
+	tenantSpecs    multiFlag
+	tenantDefaults string
 }
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, " ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func defineFlags(fs *flag.FlagSet) *options {
 	o := &options{}
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
-	fs.IntVar(&o.maxStreams, "max-streams", 4, "concurrently streaming jobs")
+	fs.IntVar(&o.maxStreams, "max-streams", 4, "concurrently streaming jobs (scheduler slots)")
 	fs.IntVar(&o.maxJobs, "max-jobs", 1024, "job registry capacity")
 	fs.IntVar(&o.maxWorkers, "max-workers", 0, "producer goroutines per job (0 = GOMAXPROCS)")
 	fs.IntVar(&o.maxScale, "max-scale", 34, "largest accepted scale")
@@ -65,6 +76,8 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.storeDir, "store-dir", "", "artifact store directory: cache streamed artifacts, enable /download")
 	fs.Int64Var(&o.storeMax, "store-max-bytes", 0, "store size budget in bytes (0 = unbounded)")
 	fs.StringVar(&o.spoolDir, "spool-dir", "", "staging directory for in-flight artifact copies (default: inside the store)")
+	fs.Var(&o.tenantSpecs, "tenant", "per-tenant scheduling limits, repeatable: name[,weight=N,rate=F,burst=F,max-active=N,max-queued=N|none,ttl=D]")
+	fs.StringVar(&o.tenantDefaults, "tenant-defaults", "", "limits for tenants without a -tenant entry (same key=value list)")
 	return o
 }
 
@@ -78,13 +91,44 @@ func (o *options) validate() error {
 	if o.drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive")
 	}
+	if _, err := o.tenants(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// tenants resolves the -tenant flag values to the scheduler's limit map
+// (nil when no flag was given).
+func (o *options) tenants() (map[string]trilliong.TenantLimits, error) {
+	if len(o.tenantSpecs) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]trilliong.TenantLimits, len(o.tenantSpecs))
+	for _, spec := range o.tenantSpecs {
+		name, lim, err := trilliong.ParseTenantSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("-tenant %q given twice", name)
+		}
+		out[name] = lim
+	}
+	return out, nil
 }
 
 // newService builds the service from the flag values, attaching the
 // artifact store (opened on the service's own telemetry registry, so
 // the store.* metrics appear on /metrics) when -store-dir is set.
 func (o *options) newService() (*trilliong.Server, error) {
+	tenants, err := o.tenants()
+	if err != nil {
+		return nil, err
+	}
+	defaults, err := trilliong.ParseTenantLimits(o.tenantDefaults)
+	if err != nil {
+		return nil, fmt.Errorf("-tenant-defaults: %w", err)
+	}
 	svc := trilliong.NewServer(trilliong.ServerOptions{
 		MaxActiveStreams: o.maxStreams,
 		MaxJobs:          o.maxJobs,
@@ -92,6 +136,8 @@ func (o *options) newService() (*trilliong.Server, error) {
 		MaxScale:         o.maxScale,
 		PipelineDepth:    o.depth,
 		EnablePprof:      o.pprof,
+		Tenants:          tenants,
+		TenantDefaults:   defaults,
 	})
 	if o.storeDir != "" {
 		st, err := trilliong.OpenStore(o.storeDir, trilliong.StoreOptions{

@@ -37,6 +37,10 @@ func TestFlagDefaultsAndValidation(t *testing.T) {
 		{"-max-jobs", "-1"},
 		{"-max-scale", "0"},
 		{"-drain-timeout", "0s"},
+		{"-tenant", "bad name!"},
+		{"-tenant", "a,weight=0"},
+		{"-tenant", "a,bogus=1"},
+		{"-tenant", "a,weight=2", "-tenant", "a,weight=3"},
 	} {
 		fs := flag.NewFlagSet("trilliong-serve", flag.ContinueOnError)
 		o := defineFlags(fs)
@@ -46,6 +50,48 @@ func TestFlagDefaultsAndValidation(t *testing.T) {
 		if err := o.validate(); err == nil {
 			t.Fatalf("flags %v accepted", args)
 		}
+	}
+}
+
+// TestTenantFlags: repeatable -tenant specs and -tenant-defaults
+// resolve to the scheduler's limit map.
+func TestTenantFlags(t *testing.T) {
+	fs := flag.NewFlagSet("trilliong-serve", flag.ContinueOnError)
+	o := defineFlags(fs)
+	err := fs.Parse([]string{
+		"-tenant", "alice,weight=3,rate=1e6,max-active=2",
+		"-tenant", "bob,max-queued=none",
+		"-tenant-defaults", "max-queued=16,ttl=10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	tenants, err := o.tenants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 2 {
+		t.Fatalf("tenants %+v", tenants)
+	}
+	alice := tenants["alice"]
+	if alice.Weight != 3 || alice.Rate != 1e6 || alice.MaxInFlight != 2 {
+		t.Fatalf("alice %+v", alice)
+	}
+	if tenants["bob"].MaxQueued >= 0 {
+		t.Fatalf("bob %+v, want max-queued none", tenants["bob"])
+	}
+	defaults, err := trilliong.ParseTenantLimits(o.tenantDefaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaults.MaxQueued != 16 || defaults.QueueTTL != 10*time.Second {
+		t.Fatalf("defaults %+v", defaults)
+	}
+	if _, err := o.newService(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -77,6 +77,17 @@ func (p Policy) Delay(attempt int) time.Duration {
 	return time.Duration(d)
 }
 
+// NextDelay returns the deterministic delay before retry `attempt`:
+// Delay's exact schedule with Jitter ignored. Use it where the delay is
+// advertised rather than slept — a Retry-After header — so the number a
+// client reads and the wait the retry loop performs come from the same
+// schedule and cannot drift (the jittered Delay is always ≤ NextDelay).
+func (p Policy) NextDelay(attempt int) time.Duration {
+	p = p.withDefaults()
+	p.Jitter = 0
+	return p.Delay(attempt)
+}
+
 // Sleep blocks for Delay(attempt), returning early (false) when stop is
 // closed. A nil stop never fires. It returns true after a full sleep.
 func (p Policy) Sleep(attempt int, stop <-chan struct{}) bool {

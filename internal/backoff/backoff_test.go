@@ -54,6 +54,38 @@ func TestZeroValueDefaults(t *testing.T) {
 	}
 }
 
+// TestNextDelayMatchesDelaySchedule: NextDelay is exactly the no-jitter
+// Delay schedule, and an upper bound on every jittered Delay — the
+// property that keeps an advertised Retry-After honest.
+func TestNextDelayMatchesDelaySchedule(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 1 * time.Second, Jitter: 0.7}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second,
+		1 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.NextDelay(i); got != w {
+			t.Fatalf("NextDelay(%d) = %v, want %v", i, got, w)
+		}
+		for trial := 0; trial < 50; trial++ {
+			if d := p.Delay(i); d > p.NextDelay(i) {
+				t.Fatalf("Delay(%d) = %v exceeds NextDelay %v", i, d, p.NextDelay(i))
+			}
+		}
+	}
+	if got := p.NextDelay(-1); got != 100*time.Millisecond {
+		t.Fatalf("NextDelay(-1) = %v, want Base", got)
+	}
+	var zero Policy
+	if got := zero.NextDelay(2); got != 400*time.Millisecond {
+		t.Fatalf("zero-value NextDelay(2) = %v, want 400ms", got)
+	}
+}
+
 // TestSleepStops: Sleep returns early when stop closes.
 func TestSleepStops(t *testing.T) {
 	p := Policy{Base: time.Minute, Max: time.Minute}

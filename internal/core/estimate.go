@@ -85,6 +85,60 @@ func EstimateSize(cfg Config, format gformat.Format) (SizeEstimate, error) {
 	return est, nil
 }
 
+// EstimateRangeEdges predicts the expected number of edges whose source
+// vertex lies in [lo, hi): |E| · P(lo ≤ src < hi) under Theorem 1's
+// per-bit product measure, in O(Scale) time. It is the cost model the
+// admission scheduler charges a job before generating anything — the
+// same expectation partition.Plan balances, without drawing any scope
+// sizes. lo/hi are clamped to [0, |V|].
+func EstimateRangeEdges(cfg Config, lo, hi int64) (int64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if nv := cfg.NumVertices(); hi > nv {
+		hi = nv
+	}
+	if lo >= hi {
+		return 0, nil
+	}
+	a := cfg.Seed.A + cfg.Seed.B // row mass of a 0 bit
+	b := cfg.Seed.C + cfg.Seed.D
+	if cfg.Orientation == AVSI {
+		a, b = cfg.Seed.A+cfg.Seed.C, cfg.Seed.B+cfg.Seed.D
+	}
+	pa, pb := a/(a+b), b/(a+b)
+	mass := prefixMass(pa, pb, cfg.Scale, hi) - prefixMass(pa, pb, cfg.Scale, lo)
+	if mass < 0 {
+		mass = 0
+	}
+	return int64(math.Round(float64(cfg.NumEdges()) * mass)), nil
+}
+
+// prefixMass returns P(v < n) where v's bits are independently 1 with
+// probability pb (pa + pb = 1) at every position of an levels-bit word.
+func prefixMass(pa, pb float64, levels int, n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= int64(1)<<uint(levels) {
+		return 1
+	}
+	var sum float64
+	run := 1.0
+	for i := levels - 1; i >= 0; i-- {
+		if (n>>uint(i))&1 == 1 {
+			sum += run * pa
+			run *= pb
+		} else {
+			run *= pa
+		}
+	}
+	return sum
+}
+
 // expectedDecimalDigits returns E[len(decimal(v))] where v's bits are
 // independently 1 with probability b/(a+b) at every position — but
 // weighted by *edge mass*, i.e. bit i of a participating vertex is 1
@@ -94,25 +148,7 @@ func expectedDecimalDigits(a, b float64, levels int) float64 {
 	// be 1 overall across levels; per bit the mass splits a : b).
 	pa := a / (a + b)
 	pb := b / (a + b)
-	prefix := func(n int64) float64 {
-		if n <= 0 {
-			return 0
-		}
-		if n >= int64(1)<<uint(levels) {
-			return 1
-		}
-		var sum float64
-		run := 1.0
-		for i := levels - 1; i >= 0; i-- {
-			if (n>>uint(i))&1 == 1 {
-				sum += run * pa
-				run *= pb
-			} else {
-				run *= pa
-			}
-		}
-		return sum
-	}
+	prefix := func(n int64) float64 { return prefixMass(pa, pb, levels, n) }
 	var exp float64
 	bound := int64(1)
 	for d := 1; ; d++ {

@@ -84,6 +84,68 @@ func TestEstimatePaperScale38Ratio(t *testing.T) {
 	}
 }
 
+// TestEstimateRangeEdges: the analytic range mass is additive, covers
+// the full range exactly, and agrees with the per-vertex expectation
+// the partitioner balances (summed ExpectedDegree).
+func TestEstimateRangeEdges(t *testing.T) {
+	for _, orient := range []Orientation{AVSO, AVSI} {
+		cfg := DefaultConfig(10)
+		cfg.Orientation = orient
+		nv := cfg.NumVertices()
+
+		full, err := EstimateRangeEdges(cfg, 0, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full != cfg.NumEdges() {
+			t.Fatalf("%v: full-range estimate %d, want |E| = %d", orient, full, cfg.NumEdges())
+		}
+
+		// Additivity across an arbitrary split (±1 for rounding).
+		lo, mid, hi := int64(0), nv/3, nv
+		left, err := EstimateRangeEdges(cfg, lo, mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := EstimateRangeEdges(cfg, mid, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := left + right - full; diff < -1 || diff > 1 {
+			t.Fatalf("%v: split masses %d + %d != %d", orient, left, right, full)
+		}
+
+		// Agreement with the summed per-vertex expectation.
+		g, err := NewScopeGenerator(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		for u := mid; u < mid+100; u++ {
+			want += g.ExpectedDegree(u)
+		}
+		got, err := EstimateRangeEdges(cfg, mid, mid+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(got)-want) > 1+0.001*want {
+			t.Fatalf("%v: range estimate %d, ExpectedDegree sum %.2f", orient, got, want)
+		}
+	}
+
+	// Degenerate ranges clamp to zero; out-of-range bounds clamp to |V|.
+	cfg := DefaultConfig(10)
+	if n, err := EstimateRangeEdges(cfg, 5, 5); err != nil || n != 0 {
+		t.Fatalf("empty range: %d, %v", n, err)
+	}
+	if n, err := EstimateRangeEdges(cfg, -10, 1<<40); err != nil || n != cfg.NumEdges() {
+		t.Fatalf("clamped range: %d, %v (want %d)", n, err, cfg.NumEdges())
+	}
+	if _, err := EstimateRangeEdges(DefaultConfig(0), 0, 1); err == nil {
+		t.Fatal("expected config error")
+	}
+}
+
 func TestEstimateValidation(t *testing.T) {
 	bad := DefaultConfig(0)
 	if _, err := EstimateSize(bad, gformat.ADJ6); err == nil {

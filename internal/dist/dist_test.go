@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
+	"repro/internal/telemetry"
 )
 
 func testConfig(scale int) core.Config {
@@ -685,5 +686,39 @@ func TestEncodeWithinTimesOut(t *testing.T) {
 	var nerr net.Error
 	if !errors.As(err, &nerr) || !nerr.Timeout() {
 		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+// TestMaxLeaseRanges: with the per-lease cap at 1, a 4-thread worker
+// takes one range per round trip, so lease grants equal parts and the
+// fair queue drains to zero (visible via the queue-depth gauge).
+func TestMaxLeaseRanges(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	cfg := testConfig(10)
+	sum, dirs := runCluster(t, MasterConfig{
+		Workers: 1, Parts: 6, Config: cfg, Format: gformat.TSV,
+		MaxLeaseRanges: 1, Telemetry: tel,
+	}, 1, 4)
+	if sum.Parts != 6 || sum.Edges == 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if got := tel.CounterValue(MetricLeaseGrants); got != 6 {
+		t.Fatalf("lease grants %d, want 6 (one range per lease)", got)
+	}
+	if parts := readParts(t, dirs, "tsv"); len(parts) != 6 {
+		t.Fatalf("got %d part files, want 6", len(parts))
+	}
+	var buf strings.Builder
+	if err := tel.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trilliong_dist_master_queue_depth 0") {
+		t.Fatalf("queue-depth gauge missing or non-zero:\n%s", buf.String())
+	}
+	if NewMasterErr := func() error {
+		_, err := NewMaster(MasterConfig{Workers: 1, Config: cfg, MaxLeaseRanges: -1, Addr: "127.0.0.1:0"})
+		return err
+	}(); NewMasterErr == nil {
+		t.Fatal("negative MaxLeaseRanges accepted")
 	}
 }

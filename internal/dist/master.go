@@ -12,6 +12,7 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
 	"repro/internal/partition"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -58,6 +59,11 @@ type MasterConfig struct {
 	// after a fault before the run is aborted (0 = 2; every range gets
 	// at most MaxRetries+1 attempts).
 	MaxRetries int
+	// MaxLeaseRanges caps the ranges handed out per lease regardless of
+	// the worker's thread count (0 = no cap beyond threads). Smaller
+	// leases shrink the requeue blast radius when a worker dies at the
+	// price of more round trips.
+	MaxLeaseRanges int
 	// Telemetry receives the master's lease/requeue/heartbeat metrics
 	// (see internal/dist metric constants). nil uses a private
 	// registry, so instrumentation is always on and never global.
@@ -130,11 +136,15 @@ type Master struct {
 	registered  int  // connections that completed Hello
 	gateThreads int  // thread sum while the gate is open for counting
 	gateClosed  bool // Run has taken its fleet snapshot
-	// Work queue (valid once planned).
+	// Work queue (valid once planned). Dispatch order comes from the
+	// cost-aware fair queue, not FIFO: fresh ranges enter as Batch and
+	// requeued ones as Background, so a burst of retries cannot jump
+	// ahead of first-attempt work — it trickles back in at background
+	// weight, apportioned by expected edges.
 	planned   bool
 	ranges    []partition.Range
-	pending   []int // range ids awaiting a lease
-	attempts  []int // requeue count per range id
+	queue     *sched.FairQueue // payloads are range ids
+	attempts  []int            // requeue count per range id
 	completed []bool
 	remaining int
 	active    int // currently connected workers
@@ -157,6 +167,9 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if cfg.Parts < 0 {
 		return nil, fmt.Errorf("dist: negative parts")
 	}
+	if cfg.MaxLeaseRanges < 0 {
+		return nil, fmt.Errorf("dist: negative max lease ranges")
+	}
 	if err := cfg.Config.Validate(); err != nil {
 		return nil, err
 	}
@@ -170,11 +183,16 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen: %w", err)
 	}
-	m := &Master{cfg: cfg, ln: ln, tel: cfg.Telemetry}
+	m := &Master{cfg: cfg, ln: ln, tel: cfg.Telemetry, queue: sched.NewFairQueue()}
 	if m.tel == nil {
 		m.tel = telemetry.NewRegistry()
 	}
 	m.cond = sync.NewCond(&m.mu)
+	m.tel.GaugeFunc(MetricQueueDepth, func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.queue.Len())
+	})
 	return m, nil
 }
 
@@ -235,9 +253,13 @@ func (m *Master) Run() (Summary, error) {
 	m.ranges = ranges
 	m.attempts = make([]int, parts)
 	m.completed = make([]bool, parts)
-	m.pending = make([]int, parts)
-	for i := range m.pending {
-		m.pending[i] = i
+	for i, r := range ranges {
+		m.queue.Push(sched.Item{
+			Tenant:  sched.DefaultTenant,
+			Class:   sched.Batch,
+			Cost:    r.Edges,
+			Payload: i,
+		})
 	}
 	m.remaining = parts
 	m.planned = true
@@ -372,14 +394,23 @@ func (m *Master) handleWorker(conn net.Conn) {
 				m.mu.Unlock()
 				return
 			}
-			if m.planned && len(m.pending) > 0 {
+			if m.planned && m.queue.Len() > 0 {
 				break
 			}
 			m.cond.Wait()
 		}
-		n := min(hi.Threads, len(m.pending))
-		ids := append([]int(nil), m.pending[:n]...)
-		m.pending = m.pending[n:]
+		n := hi.Threads
+		if m.cfg.MaxLeaseRanges > 0 && n > m.cfg.MaxLeaseRanges {
+			n = m.cfg.MaxLeaseRanges
+		}
+		ids := make([]int, 0, min(n, m.queue.Len()))
+		for len(ids) < n {
+			it, ok := m.queue.Pop(nil)
+			if !ok {
+				break
+			}
+			ids = append(ids, it.Payload.(int))
+		}
 		job := Job{
 			Config:    m.cfg.Config,
 			Format:    m.cfg.Format,
@@ -499,6 +530,11 @@ func (m *Master) requeue(ids []int, cause string) {
 			}
 			continue
 		}
-		m.pending = append(m.pending, id)
+		m.queue.Push(sched.Item{
+			Tenant:  sched.DefaultTenant,
+			Class:   sched.Background,
+			Cost:    m.ranges[id].Edges,
+			Payload: id,
+		})
 	}
 }

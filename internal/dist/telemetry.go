@@ -12,6 +12,7 @@ const (
 	MetricLeaseExpiries  = "dist.master.lease_expiries"
 	MetricRangeAttempts  = "dist.master.range_attempts"
 	MetricPartsCompleted = "dist.master.parts_completed"
+	MetricQueueDepth     = "dist.master.queue_depth"
 	MetricPartsSkipped   = "dist.master.parts_skipped"
 	MetricPartsFromCache = "dist.master.parts_from_cache"
 	MetricMasterEdges    = "dist.master.edges_total"

@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// drainCounts pops n items (no veto) and tallies dispatches per tenant.
+func drainCounts(t *testing.T, q *FairQueue, n int) map[string]int {
+	t.Helper()
+	got := make(map[string]int)
+	for i := 0; i < n; i++ {
+		it, ok := q.Pop(nil)
+		if !ok {
+			t.Fatalf("Pop %d: queue empty early", i)
+		}
+		got[it.Tenant]++
+	}
+	return got
+}
+
+func TestFairQueueFIFOWithinClass(t *testing.T) {
+	q := NewFairQueue()
+	for i := 0; i < 10; i++ {
+		q.Push(Item{Tenant: "a", Class: Batch, Cost: 1, Payload: i})
+	}
+	for i := 0; i < 10; i++ {
+		it, ok := q.Pop(nil)
+		if !ok || it.Payload.(int) != i {
+			t.Fatalf("pop %d: got %v ok=%v, want FIFO order", i, it.Payload, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", q.Len())
+	}
+}
+
+func TestFairQueueWeightedShares(t *testing.T) {
+	q := NewFairQueue()
+	q.SetWeight("w1", 1)
+	q.SetWeight("w2", 2)
+	q.SetWeight("w4", 4)
+	const per = 700
+	for i := 0; i < per; i++ {
+		for _, tn := range []string{"w1", "w2", "w4"} {
+			q.Push(Item{Tenant: tn, Class: Batch, Cost: 1})
+		}
+	}
+	// Drain only as much as keeps every tenant backlogged (the weight-4
+	// tenant gets 4/7 of dispatches and must not run out), so the ratios
+	// reflect scheduling, not queue exhaustion.
+	got := drainCounts(t, q, 3*per/2)
+	if got["w1"] == 0 {
+		t.Fatal("weight-1 tenant starved")
+	}
+	for tn, want := range map[string]float64{"w2": 2, "w4": 4} {
+		ratio := float64(got[tn]) / float64(got["w1"])
+		if math.Abs(ratio-want)/want > 0.10 {
+			t.Errorf("dispatch ratio %s/w1 = %.2f, want %.1f ±10%% (counts %v)", tn, ratio, want, got)
+		}
+	}
+}
+
+func TestFairQueueCostAware(t *testing.T) {
+	// Equal weights, but tenant "big" submits cost-10 items: fairness is
+	// over cost, so "small" should complete ~10 items per "big" item.
+	q := NewFairQueue()
+	for i := 0; i < 600; i++ {
+		q.Push(Item{Tenant: "big", Class: Batch, Cost: 10})
+		q.Push(Item{Tenant: "small", Class: Batch, Cost: 1})
+	}
+	got := drainCounts(t, q, 550)
+	ratio := float64(got["small"]) / float64(got["big"])
+	if ratio < 8 || ratio > 12 {
+		t.Errorf("small/big dispatch ratio = %.2f, want ~10 (counts %v)", ratio, got)
+	}
+}
+
+func TestFairQueueClassPriority(t *testing.T) {
+	// One tenant, all three classes backlogged: dispatches split by
+	// classWeights (16:4:1), so interactive dominates but background
+	// still progresses.
+	q := NewFairQueue()
+	const per = 400
+	for i := 0; i < per; i++ {
+		q.Push(Item{Tenant: "a", Class: Interactive, Cost: 1})
+		q.Push(Item{Tenant: "a", Class: Batch, Cost: 1})
+		q.Push(Item{Tenant: "a", Class: Background, Cost: 1})
+	}
+	counts := make(map[Class]int)
+	// Pop few enough that interactive (the largest share) stays backlogged.
+	for i := 0; i < per; i++ {
+		it, ok := q.Pop(nil)
+		if !ok {
+			t.Fatal("queue empty early")
+		}
+		counts[it.Class]++
+	}
+	if counts[Background] == 0 {
+		t.Fatal("background starved within tenant")
+	}
+	if counts[Interactive] <= counts[Batch] || counts[Batch] <= counts[Background] {
+		t.Errorf("class dispatch counts %v, want interactive > batch > background", counts)
+	}
+	ratio := float64(counts[Interactive]) / float64(counts[Batch])
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("interactive/batch ratio = %.2f, want ~4 (%v)", ratio, counts)
+	}
+}
+
+func TestFairQueueIdleTenantBanksNoCredit(t *testing.T) {
+	// Tenant "busy" runs alone for a while; "late" then arrives. If late
+	// re-entered at pass 0 it would monopolize dispatch until catching
+	// up; instead it should roughly alternate with busy.
+	q := NewFairQueue()
+	for i := 0; i < 100; i++ {
+		q.Push(Item{Tenant: "busy", Class: Batch, Cost: 1})
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := q.Pop(nil); !ok {
+			t.Fatal("queue empty early")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(Item{Tenant: "late", Class: Batch, Cost: 1})
+	}
+	lateRun := 0
+	for i := 0; i < 10; i++ {
+		it, _ := q.Pop(nil)
+		if it.Tenant == "late" {
+			lateRun++
+		}
+	}
+	if lateRun > 6 {
+		t.Errorf("late tenant got %d of the first 10 dispatches; idle time banked credit", lateRun)
+	}
+}
+
+func TestFairQueueSkipTenant(t *testing.T) {
+	q := NewFairQueue()
+	q.Push(Item{Tenant: "a", Class: Batch, Cost: 1, Payload: "a1"})
+	q.Push(Item{Tenant: "b", Class: Batch, Cost: 1, Payload: "b1"})
+	it, ok := q.Pop(func(it Item) Decision {
+		if it.Tenant == "a" {
+			return SkipTenant
+		}
+		return Take
+	})
+	if !ok || it.Payload != "b1" {
+		t.Fatalf("got %v ok=%v, want b1 with a skipped", it.Payload, ok)
+	}
+	if q.LenTenant("a") != 1 {
+		t.Fatalf("skipped tenant lost its item: LenTenant(a) = %d", q.LenTenant("a"))
+	}
+	// The skipped tenant is re-eligible on the next Pop.
+	it, ok = q.Pop(nil)
+	if !ok || it.Payload != "a1" {
+		t.Fatalf("got %v ok=%v, want a1 after skip", it.Payload, ok)
+	}
+}
+
+func TestFairQueueSkipAllReturnsEmpty(t *testing.T) {
+	q := NewFairQueue()
+	q.Push(Item{Tenant: "a", Class: Batch, Cost: 1})
+	q.Push(Item{Tenant: "b", Class: Batch, Cost: 1})
+	_, ok := q.Pop(func(Item) Decision { return SkipTenant })
+	if ok {
+		t.Fatal("Pop returned an item with every tenant skipped")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d after all-skip Pop, want 2", q.Len())
+	}
+	if it, ok := q.Pop(nil); !ok || it.Tenant == "" {
+		t.Fatal("queue unusable after all-skip Pop")
+	}
+}
+
+func TestFairQueueDrop(t *testing.T) {
+	q := NewFairQueue()
+	q.Push(Item{Tenant: "a", Class: Batch, Cost: 1, Payload: "dead"})
+	q.Push(Item{Tenant: "a", Class: Batch, Cost: 1, Payload: "live"})
+	it, ok := q.Pop(func(it Item) Decision {
+		if it.Payload == "dead" {
+			return Drop
+		}
+		return Take
+	})
+	if !ok || it.Payload != "live" {
+		t.Fatalf("got %v ok=%v, want live with dead dropped", it.Payload, ok)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 (drop removed dead)", q.Len())
+	}
+}
+
+func TestFairQueueRemove(t *testing.T) {
+	q := NewFairQueue()
+	p1, p2 := &struct{ n int }{1}, &struct{ n int }{2}
+	q.Push(Item{Tenant: "a", Class: Batch, Cost: 1, Payload: p1})
+	q.Push(Item{Tenant: "a", Class: Batch, Cost: 1, Payload: p2})
+	if !q.Remove("a", Batch, p1) {
+		t.Fatal("Remove(p1) = false, want true")
+	}
+	if q.Remove("a", Batch, p1) {
+		t.Fatal("second Remove(p1) = true, want false")
+	}
+	if q.Remove("a", Interactive, p2) {
+		t.Fatal("Remove with wrong class = true, want false")
+	}
+	it, ok := q.Pop(nil)
+	if !ok || it.Payload != p2 {
+		t.Fatalf("got %v, want p2", it.Payload)
+	}
+	if _, ok := q.Pop(nil); ok {
+		t.Fatal("queue should be empty")
+	}
+	// Removing the last item deactivates the tenant; pushing again must
+	// reactivate it.
+	q.Push(Item{Tenant: "a", Class: Batch, Cost: 1, Payload: p1})
+	if !q.Remove("a", Batch, p1) {
+		t.Fatal("Remove after reactivation failed")
+	}
+	q.Push(Item{Tenant: "a", Class: Batch, Cost: 1, Payload: p2})
+	if it, ok := q.Pop(nil); !ok || it.Payload != p2 {
+		t.Fatalf("tenant not reactivated after Remove-to-empty: %v ok=%v", it.Payload, ok)
+	}
+}
+
+func TestFairQueueManyTenantsHeap(t *testing.T) {
+	// Exercise the heap with enough tenants that heapUp/heapDown paths
+	// all run; every tenant equal weight → equal dispatch counts.
+	q := NewFairQueue()
+	const tenants, per = 17, 40
+	for i := 0; i < per; i++ {
+		for tn := 0; tn < tenants; tn++ {
+			q.Push(Item{Tenant: fmt.Sprintf("t%02d", tn), Class: Batch, Cost: 1})
+		}
+	}
+	got := drainCounts(t, q, tenants*per)
+	for tn, n := range got {
+		if n != per {
+			t.Fatalf("tenant %s dispatched %d, want %d", tn, n, per)
+		}
+	}
+}

@@ -10,16 +10,19 @@ import (
 	"repro/internal/core"
 	"repro/internal/gformat"
 	"repro/internal/recvec"
+	"repro/internal/sched"
 	"repro/internal/skg"
 )
 
 // JobState is a job's lifecycle state.
 type JobState string
 
-// Job lifecycle: pending → running → done | failed | canceled.
-// A pending job may also go straight to canceled.
+// Job lifecycle: pending → queued → running → done | failed | canceled.
+// A pending job may also go straight to canceled; a queued job whose
+// admission is shed returns to pending (retryable).
 const (
 	StatePending  JobState = "pending"
+	StateQueued   JobState = "queued"
 	StateRunning  JobState = "running"
 	StateDone     JobState = "done"
 	StateFailed   JobState = "failed"
@@ -58,6 +61,9 @@ type JobSpec struct {
 	// AllowDuplicates skips in-scope dedup (Graph500-edge-list
 	// semantics).
 	AllowDuplicates bool `json:"allow_duplicates,omitempty"`
+	// Class is the scheduling priority class: "interactive", "batch"
+	// (the default) or "background".
+	Class string `json:"class,omitempty"`
 }
 
 // specLimits bounds what a spec may ask of the server.
@@ -131,6 +137,14 @@ type Job struct {
 	ID   string
 	Spec JobSpec
 
+	// Tenant, Class and Cost are the job's scheduling identity: the
+	// accounting principal from the X-Trilliong-Tenant header, the
+	// priority class from the spec, and the expected edge count from
+	// Theorem 1 (core.EstimateRangeEdges) the scheduler charges.
+	Tenant string
+	Class  sched.Class
+	Cost   int64
+
 	cfg    core.Config
 	format gformat.Format
 	lo, hi int64
@@ -153,6 +167,9 @@ type Job struct {
 type JobStatus struct {
 	ID          string   `json:"id"`
 	State       JobState `json:"state"`
+	Tenant      string   `json:"tenant"`
+	Class       string   `json:"class"`
+	CostEdges   int64    `json:"cost_edges"`
 	Scale       int      `json:"scale"`
 	Format      string   `json:"format"`
 	Lo          int64    `json:"lo"`
@@ -177,6 +194,9 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{
 		ID:            j.ID,
 		State:         state,
+		Tenant:        j.Tenant,
+		Class:         j.Class.String(),
+		CostEdges:     j.Cost,
 		Scale:         j.cfg.Scale,
 		Format:        j.format.String(),
 		Lo:            j.lo,
@@ -203,19 +223,44 @@ func (j *Job) Status() JobStatus {
 	return st
 }
 
-// tryStart transitions pending → running, recording the stream's
-// cancel function so DELETE can abort it. It reports the previous
-// state on failure, making the stream endpoint one-shot.
-func (j *Job) tryStart(cancel context.CancelFunc) (JobState, bool) {
+// tryQueue transitions pending → queued, recording the stream's cancel
+// function so DELETE can abort the job while it waits for admission. It
+// reports the previous state on failure, making the stream endpoint
+// one-shot.
+func (j *Job) tryQueue(cancel context.CancelFunc) (JobState, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StatePending {
 		return j.state, false
 	}
+	j.state = StateQueued
+	j.cancel = cancel
+	return StateQueued, true
+}
+
+// tryRun transitions queued → running once the scheduler granted a
+// slot.
+func (j *Job) tryRun() (JobState, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return j.state, false
+	}
 	j.state = StateRunning
 	j.started = time.Now()
-	j.cancel = cancel
 	return StateRunning, true
+}
+
+// unqueue returns a queued job to pending — the admission was rejected
+// or shed without the job ever running, so a later stream attempt may
+// retry it.
+func (j *Job) unqueue() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.state = StatePending
+		j.cancel = nil
+	}
 }
 
 // finish records the stream outcome: done on success, canceled when
@@ -241,9 +286,11 @@ func (j *Job) finish(err error, ctxErr error) {
 	}
 }
 
-// Cancel aborts the job: a pending job is marked canceled directly, a
-// running one has its stream context cut (the streaming goroutine then
-// records the terminal state). Cancelling a terminal job is a no-op.
+// Cancel aborts the job: a pending job is marked canceled directly; a
+// queued or running one has its stream context cut (the queued waiter's
+// admission aborts, the running stream stops; the streaming goroutine
+// then records the terminal state). Cancelling a terminal job is a
+// no-op.
 func (j *Job) Cancel() {
 	j.mu.Lock()
 	cancel := j.cancel
@@ -265,26 +312,45 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
+// defaultPendingTTL is how long an untouched pending job may occupy a
+// registry slot before eviction may reclaim it.
+const defaultPendingTTL = 10 * time.Minute
+
 // registry holds the server's jobs in creation order, bounded by
-// maxJobs. When full, the oldest terminal job is evicted to admit a
-// new one; if every slot holds a live job, admission fails.
+// maxJobs. When full, the oldest terminal job is evicted to admit a new
+// one; failing that, the oldest stale pending job (created more than
+// pendingTTL ago, never streamed) is marked canceled and evicted.
+// Queued and running jobs are never evicted: a queued job has a live
+// waiter inside the scheduler, and evicting it would let a
+// dispatched-after-eviction stream run a job the registry no longer
+// knows. If every slot holds a live job, admission fails.
 type registry struct {
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	order   []string
-	nextID  uint64
-	maxJobs int
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string
+	nextID     uint64
+	maxJobs    int
+	pendingTTL time.Duration
+	now        func() time.Time // tests substitute
 }
 
-func newRegistry(maxJobs int) *registry {
+func newRegistry(maxJobs int, pendingTTL time.Duration) *registry {
 	if maxJobs < 1 {
 		maxJobs = 1024
 	}
-	return &registry{jobs: make(map[string]*Job), maxJobs: maxJobs}
+	if pendingTTL <= 0 {
+		pendingTTL = defaultPendingTTL
+	}
+	return &registry{
+		jobs:       make(map[string]*Job),
+		maxJobs:    maxJobs,
+		pendingTTL: pendingTTL,
+		now:        time.Now,
+	}
 }
 
 // add registers a compiled job and assigns its ID.
-func (r *registry) add(spec JobSpec, cfg core.Config, format gformat.Format, lo, hi int64) (*Job, error) {
+func (r *registry) add(spec JobSpec, tenant string, class sched.Class, cost int64, cfg core.Config, format gformat.Format, lo, hi int64) (*Job, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.order) >= r.maxJobs && !r.evictLocked() {
@@ -294,11 +360,14 @@ func (r *registry) add(spec JobSpec, cfg core.Config, format gformat.Format, lo,
 	j := &Job{
 		ID:      fmt.Sprintf("j%08d", r.nextID),
 		Spec:    spec,
+		Tenant:  tenant,
+		Class:   class,
+		Cost:    cost,
 		cfg:     cfg,
 		format:  format,
 		lo:      lo,
 		hi:      hi,
-		created: time.Now(),
+		created: r.now(),
 		state:   StatePending,
 	}
 	r.jobs[j.ID] = j
@@ -306,7 +375,11 @@ func (r *registry) add(spec JobSpec, cfg core.Config, format gformat.Format, lo,
 	return j, nil
 }
 
-// evictLocked drops the oldest terminal job, reporting success.
+// evictLocked reclaims one registry slot, reporting success: the oldest
+// terminal job if any, else the oldest stale pending job — which is
+// marked canceled first, so a stream request already holding the *Job
+// fails its pending→queued transition and the evicted job can never be
+// dispatched.
 func (r *registry) evictLocked() bool {
 	for i, id := range r.order {
 		if r.jobs[id].State().terminal() {
@@ -315,7 +388,29 @@ func (r *registry) evictLocked() bool {
 			return true
 		}
 	}
+	cutoff := r.now().Add(-r.pendingTTL)
+	for i, id := range r.order {
+		if j := r.jobs[id]; j.created.Before(cutoff) && j.markEvicted() {
+			delete(r.jobs, id)
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			return true
+		}
+	}
 	return false
+}
+
+// markEvicted moves a pending job to canceled for eviction, reporting
+// whether it was pending. Queued, running and terminal jobs refuse.
+func (j *Job) markEvicted() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StatePending {
+		return false
+	}
+	j.state = StateCanceled
+	j.errMsg = "evicted: pending past registry TTL"
+	j.finished = time.Now()
+	return true
 }
 
 // get looks a job up by ID.

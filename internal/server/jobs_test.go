@@ -3,8 +3,10 @@ package server
 import (
 	"context"
 	"testing"
+	"time"
 
 	"repro/internal/gformat"
+	"repro/internal/sched"
 )
 
 func TestJobSpecDefaults(t *testing.T) {
@@ -93,7 +95,7 @@ func addJob(t *testing.T, r *registry, spec JobSpec) *Job {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := r.add(spec, cfg, format, lo, hi)
+	j, err := r.add(spec, sched.DefaultTenant, sched.Batch, 1, cfg, format, lo, hi)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +103,7 @@ func addJob(t *testing.T, r *registry, spec JobSpec) *Job {
 }
 
 func TestRegistryLifecycle(t *testing.T) {
-	r := newRegistry(8)
+	r := newRegistry(8, 0)
 	j := addJob(t, r, JobSpec{Scale: 8})
 	if j.ID != "j00000001" {
 		t.Fatalf("id %q", j.ID)
@@ -120,11 +122,17 @@ func TestRegistryLifecycle(t *testing.T) {
 
 	_, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	if _, ok := j.tryStart(cancel); !ok {
-		t.Fatal("tryStart failed on pending job")
+	if _, ok := j.tryQueue(cancel); !ok {
+		t.Fatal("tryQueue failed on pending job")
 	}
-	if prev, ok := j.tryStart(cancel); ok || prev != StateRunning {
-		t.Fatalf("second tryStart: ok=%v prev=%v", ok, prev)
+	if st := j.State(); st != StateQueued {
+		t.Fatalf("state %v after tryQueue", st)
+	}
+	if _, ok := j.tryRun(); !ok {
+		t.Fatal("tryRun failed on queued job")
+	}
+	if prev, ok := j.tryQueue(cancel); ok || prev != StateRunning {
+		t.Fatalf("second tryQueue: ok=%v prev=%v", ok, prev)
 	}
 	j.finish(nil, nil)
 	if j.State() != StateDone {
@@ -141,25 +149,42 @@ func TestRegistryLifecycle(t *testing.T) {
 }
 
 func TestRegistryCancelPending(t *testing.T) {
-	r := newRegistry(8)
+	r := newRegistry(8, 0)
 	j := addJob(t, r, JobSpec{Scale: 8})
 	j.Cancel()
 	if j.State() != StateCanceled {
 		t.Fatalf("state %v", j.State())
 	}
-	if _, ok := j.tryStart(func() {}); ok {
-		t.Fatal("canceled job started")
+	if _, ok := j.tryQueue(func() {}); ok {
+		t.Fatal("canceled job queued")
+	}
+}
+
+// TestJobUnqueueRetryable: a queued job whose admission is rejected or
+// shed returns to pending and can be queued again.
+func TestJobUnqueueRetryable(t *testing.T) {
+	r := newRegistry(8, 0)
+	j := addJob(t, r, JobSpec{Scale: 8})
+	if _, ok := j.tryQueue(func() {}); !ok {
+		t.Fatal("tryQueue failed")
+	}
+	j.unqueue()
+	if st := j.State(); st != StatePending {
+		t.Fatalf("state %v after unqueue, want pending", st)
+	}
+	if _, ok := j.tryQueue(func() {}); !ok {
+		t.Fatal("retry after unqueue refused")
 	}
 }
 
 func TestRegistryEviction(t *testing.T) {
-	r := newRegistry(2)
+	r := newRegistry(2, 0)
 	a := addJob(t, r, JobSpec{Scale: 8})
 	addJob(t, r, JobSpec{Scale: 8})
 
-	// Both slots live: admission must fail.
+	// Both slots hold fresh pending jobs: admission must fail.
 	cfg, format, lo, hi, _ := JobSpec{Scale: 8}.compile(specLimits{})
-	if _, err := r.add(JobSpec{Scale: 8}, cfg, format, lo, hi); err == nil {
+	if _, err := r.add(JobSpec{Scale: 8}, sched.DefaultTenant, sched.Batch, 1, cfg, format, lo, hi); err == nil {
 		t.Fatal("overfull registry accepted a job")
 	}
 
@@ -171,5 +196,56 @@ func TestRegistryEviction(t *testing.T) {
 	}
 	if _, ok := r.get(c.ID); !ok {
 		t.Fatal("new job missing")
+	}
+}
+
+// TestRegistryEvictsStalePending: with every slot pending, eviction
+// reclaims the oldest job past the pending TTL — and that job is marked
+// canceled first, so a racing stream request holding the stale *Job can
+// never queue (and therefore never be dispatched).
+func TestRegistryEvictsStalePending(t *testing.T) {
+	r := newRegistry(2, time.Minute)
+	base := time.Unix(1000, 0)
+	r.now = func() time.Time { return base }
+	stale := addJob(t, r, JobSpec{Scale: 8})
+
+	// Second job created within the TTL window: not evictable.
+	r.now = func() time.Time { return base.Add(30 * time.Second) }
+	fresh := addJob(t, r, JobSpec{Scale: 8})
+
+	// Past the first job's TTL, admission evicts it — not the fresh one.
+	r.now = func() time.Time { return base.Add(90 * time.Second) }
+	c := addJob(t, r, JobSpec{Scale: 8})
+	if _, ok := r.get(stale.ID); ok {
+		t.Fatal("stale pending job still listed")
+	}
+	if _, ok := r.get(fresh.ID); !ok {
+		t.Fatal("fresh pending job evicted")
+	}
+	if _, ok := r.get(c.ID); !ok {
+		t.Fatal("new job missing")
+	}
+
+	// The evicted job is terminal and refuses to queue: it can never be
+	// handed to the scheduler, so an evicted job is never dispatched.
+	if st := stale.State(); st != StateCanceled {
+		t.Fatalf("evicted job state %v, want canceled", st)
+	}
+	if _, ok := stale.tryQueue(func() {}); ok {
+		t.Fatal("evicted job accepted a queue transition")
+	}
+
+	// Queued jobs are never evicted even when stale: they own a live
+	// scheduler waiter.
+	if _, ok := fresh.tryQueue(func() {}); !ok {
+		t.Fatal("tryQueue failed")
+	}
+	if _, ok := c.tryQueue(func() {}); !ok {
+		t.Fatal("tryQueue failed")
+	}
+	r.now = func() time.Time { return base.Add(time.Hour) }
+	cfg, format, lo, hi, _ := JobSpec{Scale: 8}.compile(specLimits{})
+	if _, err := r.add(JobSpec{Scale: 8}, sched.DefaultTenant, sched.Batch, 1, cfg, format, lo, hi); err == nil {
+		t.Fatal("registry evicted a queued job")
 	}
 }

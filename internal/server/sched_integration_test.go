@@ -1,0 +1,243 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// waitForState polls a job's status until it reaches want.
+func waitForState(t *testing.T, base, id string, want JobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := getStatus(t, base, id)
+		if st.State == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck at %v, want %v", id, st.State, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerQueuedStateAndDelete: with one slot busy, a second stream
+// parks in the queued state (visible via status), and DELETE aborts it
+// while it waits — without ever running it.
+func TestServerQueuedStateAndDelete(t *testing.T) {
+	_, base := newTestServer(t, Options{MaxActiveStreams: 1})
+	idA := createJob(t, base, `{"scale":20,"format":"tsv","workers":2}`)
+	idB := createJob(t, base, `{"scale":10,"format":"tsv"}`)
+
+	respA, err := http.Get(base + "/v1/jobs/" + idA + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respA.Body.Close()
+	if _, err := io.ReadFull(respA.Body, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+
+	// B's stream parks behind A.
+	type result struct {
+		code int
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/v1/jobs/" + idB + "/stream")
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- result{resp.StatusCode, nil}
+	}()
+	if st := waitForState(t, base, idB, StateQueued); st.ScopesDone != 0 {
+		t.Fatalf("queued job already has progress: %+v", st)
+	}
+
+	// DELETE the queued job: its admission wait aborts, it never runs.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+idB, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status %d", dresp.StatusCode)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.code != http.StatusConflict {
+		t.Fatalf("canceled queued stream: %d, want 409", res.code)
+	}
+	if st := waitForState(t, base, idB, StateCanceled); st.ScopesDone != 0 {
+		t.Fatalf("canceled queued job ran: %+v", st)
+	}
+}
+
+// TestServerQueuedStreamRunsWhenSlotFrees: a queued stream is dispatched
+// once the running stream finishes, and completes normally.
+func TestServerQueuedStreamRunsWhenSlotFrees(t *testing.T) {
+	_, base := newTestServer(t, Options{MaxActiveStreams: 1})
+	// A must be large enough (~50 MB of TSV) that the unread stream
+	// cannot be swallowed whole by loopback socket buffers — otherwise
+	// A completes server-side, the slot frees early, and B never shows
+	// as queued.
+	idA := createJob(t, base, `{"scale":18,"format":"tsv","workers":2}`)
+	idB := createJobAs(t, base, "team-q", `{"scale":10,"format":"tsv"}`)
+
+	respA, err := http.Get(base + "/v1/jobs/" + idA + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respA.Body.Close()
+	if _, err := io.ReadFull(respA.Body, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/v1/jobs/" + idB + "/stream")
+		if err != nil {
+			done <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	waitForState(t, base, idB, StateQueued)
+
+	// Drain A; its slot frees and B dispatches.
+	if _, err := io.Copy(io.Discard, respA.Body); err != nil {
+		t.Fatal(err)
+	}
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("queued stream finished with %d", code)
+	}
+	st := waitForState(t, base, idB, StateDone)
+	if st.Tenant != "team-q" || st.Progress != 1 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+// TestServerTenantRateLimit: a rate-limited tenant in token debt gets
+// 429 with Retry-After while other tenants are unaffected.
+func TestServerTenantRateLimit(t *testing.T) {
+	_, base := newTestServer(t, Options{
+		Tenants: map[string]sched.Limits{
+			// ~16k expected edges at scale 10 vs a 100-edge bucket at 1
+			// edge/s: the first job plunges the bucket into debt.
+			"metered": {Rate: 1, Burst: 100},
+		},
+	})
+	idA := createJobAs(t, base, "metered", `{"scale":10,"format":"tsv"}`)
+	respA, err := http.Get(base + "/v1/jobs/" + idA + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, respA.Body)
+	respA.Body.Close()
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("first metered stream: %d", respA.StatusCode)
+	}
+
+	idB := createJobAs(t, base, "metered", `{"scale":10,"format":"tsv"}`)
+	respB, err := http.Get(base + "/v1/jobs/" + idB + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, respB.Body)
+	respB.Body.Close()
+	if respB.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("in-debt metered stream: %d, want 429", respB.StatusCode)
+	}
+	if respB.Header.Get("Retry-After") == "" {
+		t.Fatal("no Retry-After on rate-limit rejection")
+	}
+	if st := getStatus(t, base, idB); st.State != StatePending {
+		t.Fatalf("rate-limited job state %v, want pending (retryable)", st.State)
+	}
+
+	// Another tenant is untouched by metered's debt.
+	idC := createJobAs(t, base, "other", `{"scale":10,"format":"tsv"}`)
+	respC, err := http.Get(base + "/v1/jobs/" + idC + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, respC.Body)
+	respC.Body.Close()
+	if respC.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant's stream: %d", respC.StatusCode)
+	}
+}
+
+// TestServerTenantValidation: malformed tenant headers and unknown
+// classes are rejected at creation.
+func TestServerTenantValidation(t *testing.T) {
+	_, base := newTestServer(t, Options{})
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(`{"scale":10}`))
+	req.Header.Set(TenantHeader, "bad tenant!")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid tenant: %d, want 400", resp.StatusCode)
+	}
+
+	presp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"scale":10,"class":"turbo"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid class: %d, want 400", presp.StatusCode)
+	}
+}
+
+// TestServerSchedMetricsExposed: the scheduler's telemetry lands in the
+// server's /metrics exposition.
+func TestServerSchedMetricsExposed(t *testing.T) {
+	_, base := newTestServer(t, Options{})
+	id := createJobAs(t, base, "team-m", `{"scale":8,"format":"tsv"}`)
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"trilliong_sched_granted_total 1",
+		"trilliong_sched_queue_depth_tenant_team_m 0",
+		"trilliong_sched_slots_free ",
+		"trilliong_sched_wait_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}

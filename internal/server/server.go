@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,20 +15,28 @@ import (
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/core"
 	"repro/internal/gformat"
+	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
+// TenantHeader names the HTTP request header carrying the tenant
+// identifier. Requests without it are accounted to sched.DefaultTenant.
+const TenantHeader = "X-Trilliong-Tenant"
+
 // Options configures a Server. Zero fields take the documented
 // defaults.
 type Options struct {
-	// MaxActiveStreams bounds concurrently streaming jobs; further
-	// stream requests get 503 with Retry-After (0 = 4).
+	// MaxActiveStreams bounds concurrently streaming jobs — the
+	// scheduler's slot count. Streams past it queue under weighted fair
+	// sharing; tenants past their own bounds get 429 with Retry-After
+	// (0 = 4).
 	MaxActiveStreams int
 	// MaxJobs bounds the registry; when full, the oldest finished job
-	// is evicted, and POST fails with 503 if every slot is live
-	// (0 = 1024).
+	// is evicted (then the oldest stale pending one), and POST fails
+	// with 503 if every slot is live (0 = 1024).
 	MaxJobs int
 	// MaxWorkersPerJob caps a job's producer goroutines (0 =
 	// GOMAXPROCS). Jobs that ask for 0 workers get this cap.
@@ -40,6 +49,18 @@ type Options struct {
 	// default: profiling endpoints are opt-in (trilliong-serve's -pprof
 	// flag) because they expose process internals.
 	EnablePprof bool
+
+	// Tenants holds per-tenant scheduling limits (weight, rate,
+	// concurrency, queue bounds), keyed by tenant name. Tenants not
+	// listed get TenantDefaults.
+	Tenants map[string]sched.Limits
+	// TenantDefaults applies to tenants absent from Tenants. The zero
+	// value means scheduler defaults: weight 1, no rate limit, a
+	// 64-deep queue shed after 30s.
+	TenantDefaults sched.Limits
+	// EvictPendingAfter is how long an untouched pending job may occupy
+	// a full registry before eviction reclaims its slot (0 = 10m).
+	EvictPendingAfter time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -70,7 +91,7 @@ type Server struct {
 	reg      *registry
 	metrics  *metrics
 	mux      *http.ServeMux
-	slots    chan struct{}
+	sched    *sched.Scheduler
 	draining atomic.Bool
 	streams  sync.WaitGroup
 
@@ -92,9 +113,14 @@ func New(opts Options) *Server {
 		opts:        opts.withDefaults(),
 		retryPolicy: backoff.Policy{Base: time.Second, Max: 30 * time.Second},
 	}
-	s.reg = newRegistry(s.opts.MaxJobs)
+	s.reg = newRegistry(s.opts.MaxJobs, s.opts.EvictPendingAfter)
 	s.metrics = newMetrics(s.reg)
-	s.slots = make(chan struct{}, s.opts.MaxActiveStreams)
+	s.sched = sched.New(sched.Config{
+		Slots:     s.opts.MaxActiveStreams,
+		Tenants:   s.opts.Tenants,
+		Defaults:  s.opts.TenantDefaults,
+		Telemetry: s.metrics.tel,
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -176,6 +202,9 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 type createResponse struct {
 	ID          string `json:"id"`
 	State       string `json:"state"`
+	Tenant      string `json:"tenant"`
+	Class       string `json:"class"`
+	CostEdges   int64  `json:"cost_edges"`
 	ScopesTotal int64  `json:"scopes_total"`
 	StatusURL   string `json:"status_url"`
 	StreamURL   string `json:"stream_url"`
@@ -186,11 +215,24 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = sched.DefaultTenant
+	}
+	if !sched.ValidTenant(tenant) {
+		writeError(w, http.StatusBadRequest, "invalid %s %q (want 1-64 chars of [a-zA-Z0-9._-])", TenantHeader, tenant)
+		return
+	}
 	var spec JobSpec
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	class, ok := sched.ParseClass(spec.Class)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown class %q (want interactive, batch or background)", spec.Class)
 		return
 	}
 	cfg, format, lo, hi, err := spec.compile(specLimits{
@@ -201,7 +243,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	job, err := s.reg.add(spec, cfg, format, lo, hi)
+	// The admission cost is the job's expected edge count (Theorem 1),
+	// so fairness and rate limits are apportioned over expected work —
+	// one scale-30 job weighs as much as thousands of small ones.
+	cost, err := core.EstimateRangeEdges(cfg, lo, hi)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "estimating job cost: %v", err)
+		return
+	}
+	job, err := s.reg.add(spec, tenant, class, cost, cfg, format, lo, hi)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -210,6 +260,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, createResponse{
 		ID:          job.ID,
 		State:       string(StatePending),
+		Tenant:      tenant,
+		Class:       class.String(),
+		CostEdges:   cost,
 		ScopesTotal: hi - lo,
 		StatusURL:   "/v1/jobs/" + job.ID,
 		StreamURL:   "/v1/jobs/" + job.ID + "/stream",
@@ -279,29 +332,53 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	select {
-	case s.slots <- struct{}{}:
-		s.rejectStreak.Store(0)
-		defer func() { <-s.slots }()
-	default:
-		s.metrics.jobsRejected.Add(1)
-		// The suggested Retry-After grows with the rejection streak —
-		// the same exponential policy dist workers use to redial the
-		// master — so a saturated server sheds hot-looping clients.
-		streak := s.rejectStreak.Add(1)
-		delay := int64(s.retryPolicy.Delay(int(streak-1)) / time.Second)
-		if delay < 1 {
-			delay = 1
-		}
-		s.metrics.retryAfterSecs.Set(float64(delay))
-		w.Header().Set("Retry-After", fmt.Sprint(delay))
-		writeError(w, http.StatusServiceUnavailable, "stream capacity (%d) exhausted", s.opts.MaxActiveStreams)
-		return
-	}
 
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
-	if prev, ok := job.tryStart(cancel); !ok {
+	if prev, ok := job.tryQueue(cancel); !ok {
+		writeError(w, http.StatusConflict, "job %s is %s; streams are one-shot", job.ID, prev)
+		return
+	}
+	grant, err := s.sched.Acquire(ctx, sched.Request{
+		Tenant: job.Tenant,
+		Class:  job.Class,
+		Cost:   job.Cost,
+	})
+	if err != nil {
+		var adm *sched.AdmissionError
+		if errors.As(err, &adm) {
+			// Rejected or shed without running: back to pending so a
+			// later attempt can retry, and tell the client when. The
+			// advertised wait is the larger of the scheduler's honest
+			// estimate and the streak backoff schedule, so hot-looping
+			// clients are shed even when the queue estimate is short.
+			job.unqueue()
+			s.metrics.jobsRejected.Add(1)
+			streak := s.rejectStreak.Add(1)
+			delay := adm.RetryAfter
+			if d := s.retryPolicy.NextDelay(int(streak - 1)); d > delay {
+				delay = d
+			}
+			secs := int64(delay / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			s.metrics.retryAfterSecs.Set(float64(secs))
+			w.Header().Set("Retry-After", fmt.Sprint(secs))
+			writeError(w, http.StatusTooManyRequests, "%v", adm)
+			return
+		}
+		// The context was cut while queued: client disconnect or DELETE.
+		job.finish(err, ctx.Err())
+		s.finishMetrics(job)
+		writeError(w, http.StatusConflict, "job %s canceled while queued", job.ID)
+		return
+	}
+	defer grant.Release()
+	s.rejectStreak.Store(0)
+	if prev, ok := job.tryRun(); !ok {
+		// DELETE raced the grant: the job left queued before we could
+		// start it.
 		writeError(w, http.StatusConflict, "job %s is %s; streams are one-shot", job.ID, prev)
 		return
 	}
@@ -331,7 +408,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// With a store attached, a cached artifact satisfies the stream
 	// without generation; a generated stream is spooled and ingested so
 	// the next identical job hits.
-	var err error
+	err = nil
 	if s.store != nil {
 		served, serveErr := s.serveFromStore(w, out, job)
 		if served {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gformat"
 	"repro/internal/recvec"
+	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/skg"
 	"repro/internal/store"
@@ -250,6 +251,24 @@ type ServerOptions = server.Options
 // JobSpec is the generation request accepted by the service's
 // POST /v1/jobs endpoint.
 type JobSpec = server.JobSpec
+
+// TenantLimits bounds one tenant's share of the service's scheduler:
+// fair-share weight, token-bucket rate limit, concurrency quota and
+// queue bounds. See internal/sched.Limits and docs/SCHED.md.
+type TenantLimits = sched.Limits
+
+// ParseTenantSpec parses a "name[,key=value...]" tenant limit spec —
+// the trilliong-serve -tenant flag syntax, e.g.
+// "alice,weight=3,rate=1e6,max-active=2". See internal/sched.
+func ParseTenantSpec(spec string) (string, TenantLimits, error) {
+	return sched.ParseTenantSpec(spec)
+}
+
+// ParseTenantLimits parses a bare "key=value,..." limit list (the
+// -tenant-defaults flag syntax; "" yields scheduler defaults).
+func ParseTenantLimits(s string) (TenantLimits, error) {
+	return sched.ParseLimits(s)
+}
 
 // NewServer builds a generation service. Mount its Handler on an
 // http.Server; call Shutdown to drain gracefully.
