@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gformat"
+	"repro/internal/skg"
 	"repro/internal/stats"
 )
 
@@ -56,6 +57,73 @@ func TestJSONReportGolden(t *testing.T) {
 	}
 	if string(got) != string(want) {
 		t.Fatalf("-json report drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExpectReportGolden pins the -expect-scale validation section for
+// the reference graph — the same validate.Report trilliong-validate
+// emits, embedded in gstat's JSON. Refresh with:
+// go test ./cmd/gstat -run Golden -update
+func TestExpectReportGolden(t *testing.T) {
+	cfg := core.DefaultConfig(10)
+	rep, err := buildExpectReport([]string{genFixture(t)}, gformat.ADJ6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "validate_scale10.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("-expect validation report drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExpectReportShape: the embedded section matches the graph it
+// measured and records the full parameter set.
+func TestExpectReportShape(t *testing.T) {
+	path := genFixture(t)
+	cfg := core.DefaultConfig(10)
+	rep, err := buildExpectReport([]string{path}, gformat.ADJ6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict == "fail" {
+		t.Errorf("reference graph fails its own expectations:\n%s", rep.Summary())
+	}
+	if rep.Params.Scale != 10 || rep.Params.Model != "skg" || rep.Params.MasterSeed != 1 {
+		t.Errorf("params not recorded: %+v", rep.Params)
+	}
+	counter := stats.NewDegreeCounter()
+	edges, err := ingest(path, gformat.ADJ6, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observed.Edges != edges {
+		t.Errorf("validation saw %d edges, gstat counted %d", rep.Observed.Edges, edges)
+	}
+	// A wrong expectation must be flagged, not absorbed. (A wrong master
+	// seed alone would rightly pass for plain SKG — same distribution,
+	// different sample — so the mismatch here is the seed matrix.)
+	wrong := cfg
+	wrong.Seed = skg.Seed{A: 0.25, B: 0.25, C: 0.25, D: 0.25}
+	rep, err = buildExpectReport([]string{path}, gformat.ADJ6, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Errorf("uniform-seed expectations on a skewed graph got verdict %s, want fail", rep.Verdict)
 	}
 }
 

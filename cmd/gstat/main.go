@@ -6,6 +6,15 @@
 //	gstat -format adj6 out/part-*.adj6
 //	gstat -format tsv -plot out.tsv       # also dump degree/count pairs
 //	gstat -format adj6 -json out/part-*.adj6 | jq .out_power_law.slope
+//	gstat -format adj6 -json -expect-scale 13 -expect-noise 0.1 out/part-*.adj6
+//
+// With -expect-scale the observed statistics are additionally compared
+// against the closed-form expectations of the named generation
+// parameters (internal/validate): text output appends the check table,
+// -json output gains a "validate" field carrying the full
+// trilliong-validate report. The comparison always uses file-axis
+// orientation ("out" = the scope axis as written), so it is unaffected
+// by -inadj.
 package main
 
 import (
@@ -15,9 +24,14 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/gformat"
+	"repro/internal/skg"
 	"repro/internal/stats"
+	"repro/internal/validate"
 )
 
 // slopeFit is a fitted (slope, r²) pair in the JSON report; it is
@@ -41,6 +55,9 @@ type jsonReport struct {
 	OutZipf        *slopeFit `json:"out_zipf,omitempty"`
 	OutOscillation float64   `json:"out_oscillation"`
 	InOscillation  float64   `json:"in_oscillation"`
+	// Validate is the expected-vs-observed section (-expect-scale): the
+	// same report trilliong-validate emits, sharing its schema.
+	Validate *validate.Report `json:"validate,omitempty"`
 }
 
 // jsonCompare is the -json shape of a -compare run.
@@ -77,6 +94,29 @@ func buildReport(edges int64, out, in stats.Hist, outDegrees []int64) jsonReport
 	return r
 }
 
+// buildExpectReport re-streams the input files into a validation
+// accumulator and evaluates them against the closed-form expectations
+// of cfg (internal/validate). The report's "out" axis is the scope
+// axis as written in the files, matching the model's convention.
+func buildExpectReport(files []string, f gformat.Format, cfg core.Config) (*validate.Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := validate.FromConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	acc := validate.NewAccumulator()
+	for _, name := range files {
+		if err := acc.ConsumeFile(name, f); err != nil {
+			return nil, err
+		}
+	}
+	rep := validate.Evaluate(m, acc, validate.DefaultThresholds(), nil, "gstat")
+	rep.Params = validate.ParamsFromConfig(cfg)
+	return rep, nil
+}
+
 // emitJSON prints v as indented JSON on stdout.
 func emitJSON(v any) {
 	enc := json.NewEncoder(os.Stdout)
@@ -91,6 +131,12 @@ func main() {
 		inadj    = flag.Bool("inadj", false, "input stores in-adjacency lists (AVS-I output): swap in/out")
 		compare  = flag.String("compare", "", "second graph (same format): print KS distances instead of stats")
 		jsonFlag = flag.Bool("json", false, "emit the report as JSON instead of text")
+
+		expectScale  = flag.Int("expect-scale", 0, "compare against closed-form expectations of this log2 vertex count (0 = off)")
+		expectEF     = flag.Int64("expect-edgefactor", 16, "expected edges per vertex (with -expect-scale)")
+		expectSeed   = flag.String("expect-seed", "0.57,0.19,0.19,0.05", "expected seed matrix a,b,c,d (with -expect-scale)")
+		expectNoise  = flag.Float64("expect-noise", 0, "expected NSKG noise parameter (with -expect-scale)")
+		expectMaster = flag.Uint64("expect-master", 1, "expected master random seed (with -expect-scale)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -133,8 +179,25 @@ func main() {
 		fmt.Println("(0 = identical distributions; > ~0.1 = clearly different)")
 		return
 	}
+	var expectRep *validate.Report
+	if *expectScale > 0 {
+		cfg := core.DefaultConfig(*expectScale)
+		cfg.EdgeFactor = *expectEF
+		cfg.NoiseParam = *expectNoise
+		cfg.MasterSeed = *expectMaster
+		seed, err := parseSeed(*expectSeed)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Seed = seed
+		if expectRep, err = buildExpectReport(flag.Args(), f, cfg); err != nil {
+			fatal(err)
+		}
+	}
 	if *jsonFlag {
-		emitJSON(buildReport(edges, out, in, counter.OutDegrees()))
+		r := buildReport(edges, out, in, counter.OutDegrees())
+		r.Validate = expectRep
+		emitJSON(r)
 		return
 	}
 	fmt.Printf("edges                  %d\n", edges)
@@ -152,6 +215,9 @@ func main() {
 	}
 	fmt.Printf("out oscillation        %.4f\n", stats.Oscillation(out))
 	fmt.Printf("in oscillation         %.4f\n", stats.Oscillation(in))
+	if expectRep != nil {
+		fmt.Print(expectRep.Summary())
+	}
 	if *plot {
 		fmt.Println("# out-degree plot: degree<TAB>count")
 		for _, p := range out.Points() {
@@ -209,6 +275,23 @@ func ingest(name string, f gformat.Format, counter *stats.DegreeCounter) (int64,
 		return edges, nil
 	}
 	return edges, fmt.Errorf("unsupported format %v", f)
+}
+
+func parseSeed(spec string) (skg.Seed, error) {
+	fields := strings.Split(spec, ",")
+	if len(fields) != 4 {
+		return skg.Seed{}, fmt.Errorf("seed must be four comma-separated numbers, got %q", spec)
+	}
+	vals := make([]float64, 4)
+	for i, p := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return skg.Seed{}, fmt.Errorf("seed entry %q: %w", p, err)
+		}
+		vals[i] = v
+	}
+	s := skg.Seed{A: vals[0], B: vals[1], C: vals[2], D: vals[3]}
+	return s, s.Validate()
 }
 
 func fatal(err error) {

@@ -29,6 +29,13 @@
 // and the report records total grants, per-tenant shares, and queue
 // wait-time quantiles from the scheduler's own histogram. Validation
 // fails the report if any tenant starves.
+//
+// -fidelity (implied by -short) appends a statistical fidelity
+// section: a seeded plain-SKG and NSKG pair generated at scale 13 and
+// validated against the closed-form expectations of internal/validate.
+// Validation fails the report on any fail verdict, on a plain-SKG run
+// without the expected Figure-9 degree-distribution oscillation, or on
+// an NSKG run where noise failed to damp it.
 package main
 
 import (
@@ -48,10 +55,12 @@ import (
 	"repro/internal/gformat"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
+	"repro/internal/validate"
 )
 
 // benchSchema identifies the report layout; bump on breaking change.
-const benchSchema = "trilliong-bench/v1"
+// v2 added the statistical fidelity section (-fidelity).
+const benchSchema = "trilliong-bench/v2"
 
 // benchStage is the registry stage that times each full run; the
 // report's edges/sec is the registry's edge counter over this stage's
@@ -68,6 +77,11 @@ type report struct {
 	Started   time.Time    `json:"started"`
 	Runs      []run        `json:"runs"`
 	Sched     *schedReport `json:"sched,omitempty"`
+	// Fidelity is the -fidelity statistical section: full
+	// internal/validate reports for a seeded plain-SKG and NSKG pair,
+	// gated by validateReport (a fail verdict, or an SKG run without the
+	// Figure-9 oscillation, fails the bench).
+	Fidelity []*validate.Report `json:"fidelity,omitempty"`
 }
 
 // run is one swept combination.
@@ -255,6 +269,45 @@ func benchSched(n int, masterSeed uint64) (*schedReport, error) {
 	return rep, nil
 }
 
+// fidelityScale sizes the -fidelity generations: the smallest scale at
+// which the closed-form in-axis expectations are sharp across master
+// seeds (the dedup correction's mean field needs the head scopes well
+// below saturation; see docs/VALIDATE.md).
+const fidelityScale = 13
+
+// benchFidelity generates a seeded plain-SKG / NSKG pair at the
+// fidelity scale and validates each against its closed-form
+// expectations, the bench-embedded form of the trilliong-validate
+// gate: noise off must show the Figure-9 degree-distribution
+// oscillation, noise 0.1 must damp it, and every distributional check
+// must hold.
+func benchFidelity(masterSeed uint64) ([]*validate.Report, error) {
+	var reports []*validate.Report
+	for _, noise := range []float64{0, 0.1} {
+		cfg := core.DefaultConfig(fidelityScale)
+		cfg.MasterSeed = masterSeed
+		cfg.NoiseParam = noise
+		m, err := validate.FromConfig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		acc := validate.NewAccumulator()
+		if _, err := core.Generate(cfg, validate.CollectingSinks(core.DiscardSinks(gformat.ADJ6), acc)); err != nil {
+			return nil, err
+		}
+		label := "fidelity-skg"
+		if noise > 0 {
+			label = "fidelity-nskg"
+		}
+		rep := validate.Evaluate(m, acc, validate.DefaultThresholds(), nil, label)
+		rep.Params = validate.ParamsFromConfig(cfg)
+		fmt.Fprintf(os.Stderr, "  fidelity %-5s verdict=%-4s oscillation detected=%-5v predicted=%v\n",
+			rep.Params.Model, rep.Verdict, rep.OscillationDetected, rep.OscillationPredicted)
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
 // validateReport enforces the schema and the sanity bounds CI gates on.
 func validateReport(r report) error {
 	if r.Schema != benchSchema {
@@ -296,6 +349,26 @@ func validateReport(r report) error {
 			// a zero here means starvation, exactly what the gate is for.
 			if tr.Grants <= 0 {
 				return fmt.Errorf("sched: tenant %s (weight %d, %s) starved", tr.Name, tr.Weight, tr.Class)
+			}
+		}
+	}
+	for _, fr := range r.Fidelity {
+		if fr.Schema != validate.ReportSchema {
+			return fmt.Errorf("fidelity %s: schema %q, want %q", fr.Label, fr.Schema, validate.ReportSchema)
+		}
+		if fr.Failed() {
+			return fmt.Errorf("fidelity %s (%s): generated graph diverges from closed-form expectations\n%s",
+				fr.Label, fr.Params.Model, fr.Summary())
+		}
+		// The Figure-9 contract itself: plain SKG ripples, NSKG does not.
+		switch fr.Params.Model {
+		case "skg":
+			if !fr.OscillationDetected {
+				return fmt.Errorf("fidelity %s: plain SKG run lost the expected degree-distribution oscillation", fr.Label)
+			}
+		case "nskg":
+			if fr.OscillationDetected {
+				return fmt.Errorf("fidelity %s: NSKG noise failed to damp the degree-distribution oscillation", fr.Label)
 			}
 		}
 	}
@@ -395,20 +468,21 @@ func main() {
 		workers     = flag.String("workers", "1,0", "comma-separated worker counts (0 = GOMAXPROCS)")
 		masterSeed  = flag.Uint64("masterseed", 1, "random master seed")
 		out         = flag.String("out", "BENCH_report.json", "report path")
-		short       = flag.Bool("short", false, "CI smoke sweep: scale 12, tsv+adj6, 2 workers")
+		short       = flag.Bool("short", false, "CI smoke sweep: scale 12, tsv+adj6, 2 workers, with fidelity")
 		tenantsN    = flag.Int("tenants", 0, "mixed-workload scheduler bench: N tenants at weights 1..N contending for slots (0 = off)")
-		validate    = flag.String("validate", "", "validate an existing report and exit")
+		fidelity    = flag.Bool("fidelity", false, "append statistical fidelity reports (seeded SKG + NSKG validated against closed forms)")
+		checkPath   = flag.String("validate", "", "validate an existing report and exit")
 		baseline    = flag.String("baseline", "", "with -validate: compare edges/sec against this reference report")
 	)
 	flag.Parse()
 
-	if *validate != "" {
-		r, err := loadReport(*validate)
+	if *checkPath != "" {
+		r, err := loadReport(*checkPath)
 		if err != nil {
 			fatal(err)
 		}
 		if err := validateReport(r); err != nil {
-			fatal(fmt.Errorf("%s: %w", *validate, err))
+			fatal(fmt.Errorf("%s: %w", *checkPath, err))
 		}
 		if *baseline != "" {
 			base, err := loadReport(*baseline)
@@ -419,12 +493,13 @@ func main() {
 				fatal(fmt.Errorf("baseline %s: %w", *baseline, err))
 			}
 		}
-		fmt.Printf("%s: valid (%d runs)\n", *validate, len(r.Runs))
+		fmt.Printf("%s: valid (%d runs)\n", *checkPath, len(r.Runs))
 		return
 	}
 
 	if *short {
 		*scales, *edgeFactors, *formats, *workers = "12", "16", "tsv,adj6", "2"
+		*fidelity = true
 	}
 	sc, err := parseInts(*scales)
 	if err != nil {
@@ -467,6 +542,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "  sched: %d grants, wait p50/p90/p99 %.4f/%.4f/%.4f s\n",
 			r.Sched.Grants, r.Sched.WaitP50, r.Sched.WaitP90, r.Sched.WaitP99)
+	}
+	if *fidelity {
+		fmt.Fprintf(os.Stderr, "trilliong-bench: fidelity pair at scale %d\n", fidelityScale)
+		if r.Fidelity, err = benchFidelity(*masterSeed); err != nil {
+			fatal(err)
+		}
 	}
 	if err := validateReport(r); err != nil {
 		fatal(fmt.Errorf("self-check: %w", err))

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/gformat"
 	"repro/internal/telemetry"
+	"repro/internal/validate"
 )
 
 // TestSweepProducesValidReport: a small sweep yields a report that
@@ -135,6 +136,56 @@ func TestBenchSched(t *testing.T) {
 	s.PerTenant[0].Grants = 0
 	if err := validateReport(r); err == nil {
 		t.Fatal("starved tenant passed validation")
+	}
+}
+
+// TestBenchFidelity: the fidelity section embeds real validate
+// reports — the SKG one oscillating, the NSKG one clean — and the
+// report gate trips on every divergence shape it exists for.
+func TestBenchFidelity(t *testing.T) {
+	fid, err := benchFidelity(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fid) != 2 {
+		t.Fatalf("fidelity produced %d reports, want 2", len(fid))
+	}
+	if fid[0].Params.Model != "skg" || fid[1].Params.Model != "nskg" {
+		t.Fatalf("fidelity pair models %s/%s, want skg/nskg", fid[0].Params.Model, fid[1].Params.Model)
+	}
+	if !fid[0].OscillationDetected {
+		t.Error("plain SKG fidelity run did not oscillate")
+	}
+	if fid[1].OscillationDetected {
+		t.Error("NSKG fidelity run oscillated")
+	}
+	base := report{Schema: benchSchema, Runs: []run{{Scale: 8, EdgeFactor: 16, Format: "tsv", Workers: 1,
+		Scopes: 1, Edges: 1, Bytes: 1, Seconds: 1, EdgesPerSec: 1,
+		Stages: map[string]telemetry.StageSnapshot{benchStage: {Calls: 1}}}}, Fidelity: fid}
+	if err := validateReport(base); err != nil {
+		t.Fatalf("clean fidelity section failed the gate: %v", err)
+	}
+	mutations := []struct {
+		name   string
+		mutate func([]*validate.Report)
+	}{
+		{"fail verdict", func(f []*validate.Report) { f[1].Verdict = validate.StatusFail }},
+		{"skg lost oscillation", func(f []*validate.Report) { f[0].OscillationDetected = false }},
+		{"nskg gained oscillation", func(f []*validate.Report) { f[1].OscillationDetected = true }},
+		{"wrong schema", func(f []*validate.Report) { f[0].Schema = "bogus/v9" }},
+	}
+	for _, tc := range mutations {
+		cp := make([]*validate.Report, len(fid))
+		for i, fr := range fid {
+			c := *fr
+			cp[i] = &c
+		}
+		tc.mutate(cp)
+		r := base
+		r.Fidelity = cp
+		if err := validateReport(r); err == nil {
+			t.Errorf("%s: fidelity gate passed", tc.name)
+		}
 	}
 }
 

@@ -168,11 +168,54 @@ const manifestName = ".trilliong-resume.json"
 // detected instead of silently producing a frankengraph: part files
 // only carry a part index, and the same index covers a *different*
 // vertex range whenever Workers (or anything else that shapes the
-// plan) changes.
+// plan) changes. Config carries the full generation parameters
+// (Workers normalized out) so downstream tools — the statistical
+// validator foremost — can recover what a directory claims to be
+// without the user re-typing flags.
 type resumeManifest struct {
-	Fingerprint string `json:"fingerprint"`
-	Parts       int    `json:"parts"`
-	Format      string `json:"format"`
+	Fingerprint string  `json:"fingerprint"`
+	Parts       int     `json:"parts"`
+	Format      string  `json:"format"`
+	Config      *Config `json:"config,omitempty"`
+}
+
+// matches compares the identity fields only: Config is informational
+// (old manifests predate it) and already condensed into Fingerprint.
+func (m resumeManifest) matches(o resumeManifest) bool {
+	return m.Fingerprint == o.Fingerprint && m.Parts == o.Parts && m.Format == o.Format
+}
+
+// RunManifest is the recorded identity of a generated directory: the
+// configuration (Workers normalized to 0), output format and part
+// count of the run that produced it.
+type RunManifest struct {
+	Config Config
+	Format gformat.Format
+	Parts  int
+}
+
+// ReadRunManifest loads the generation parameters recorded in dir by
+// ResumeToDir / ResumeToDirStore. Directories written before parameter
+// recording (or by the non-resume path) return an error naming the
+// manifest, so callers can fall back to explicit flags.
+func ReadRunManifest(dir string) (*RunManifest, error) {
+	path := filepath.Join(dir, manifestName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: no run manifest in %s (generate with -resume or -store to record parameters): %w", dir, err)
+	}
+	var m resumeManifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("core: run manifest %s is corrupt: %w", path, err)
+	}
+	if m.Config == nil {
+		return nil, fmt.Errorf("core: run manifest %s predates parameter recording", path)
+	}
+	f, err := gformat.ParseFormat(m.Format)
+	if err != nil {
+		return nil, fmt.Errorf("core: run manifest %s: %w", path, err)
+	}
+	return &RunManifest{Config: *m.Config, Format: f, Parts: m.Parts}, nil
 }
 
 // fingerprint condenses everything that determines the part file set:
@@ -188,10 +231,13 @@ func fingerprint(cfg Config, format gformat.Format, parts int) string {
 // writes one. Directories from runs predating the manifest resume
 // without validation, as before.
 func checkOrWriteManifest(dir string, cfg Config, format gformat.Format, parts int) error {
+	recorded := cfg
+	recorded.Workers = 0
 	want := resumeManifest{
 		Fingerprint: fingerprint(cfg, format, parts),
 		Parts:       parts,
 		Format:      format.String(),
+		Config:      &recorded,
 	}
 	path := filepath.Join(dir, manifestName)
 	if b, err := os.ReadFile(path); err == nil {
@@ -199,7 +245,7 @@ func checkOrWriteManifest(dir string, cfg Config, format gformat.Format, parts i
 		if err := json.Unmarshal(b, &have); err != nil {
 			return fmt.Errorf("core: resume manifest %s is corrupt: %w", path, err)
 		}
-		if have != want {
+		if !have.matches(want) {
 			return fmt.Errorf("core: directory %s holds parts of a different run (manifest: %d %s parts; resume asks for %d %s parts with a different plan) — resume with the original configuration or use a fresh directory",
 				dir, have.Parts, have.Format, want.Parts, want.Format)
 		}

@@ -185,3 +185,37 @@ func TestAtomicSinkRenameSemantics(t *testing.T) {
 		t.Fatal("temp file not renamed away")
 	}
 }
+
+// TestRunManifestRecordsParameters: a resumed run records its full
+// generation parameters, and ReadRunManifest recovers them — what lets
+// trilliong-validate check a directory without re-typed flags.
+func TestRunManifestRecordsParameters(t *testing.T) {
+	cfg := DefaultConfig(9)
+	cfg.NoiseParam = 0.1
+	cfg.MasterSeed = 42
+	cfg.Workers = 3
+	dir := t.TempDir()
+	if _, err := ResumeToDir(cfg, dir, gformat.ADJ6); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadRunManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg
+	want.Workers = 0 // normalized out: parts, not Workers, fix the plan
+	if m.Config != want {
+		t.Fatalf("recorded config %+v, want %+v", m.Config, want)
+	}
+	if m.Format != gformat.ADJ6 || m.Parts != 3 {
+		t.Fatalf("recorded format %v / parts %d, want ADJ6 / 3", m.Format, m.Parts)
+	}
+	// Resuming again with the same configuration still matches.
+	if _, err := ResumeToDir(cfg, dir, gformat.ADJ6); err != nil {
+		t.Fatalf("re-resume with matching config: %v", err)
+	}
+	// A directory without a manifest reports a usable error.
+	if _, err := ReadRunManifest(t.TempDir()); err == nil {
+		t.Fatal("missing manifest did not error")
+	}
+}

@@ -225,6 +225,9 @@ type Generator struct {
 	// dstVec is the destination CDF vector (shared by every scope; the
 	// column measure does not depend on the source).
 	dstVec *recvec.Vector
+	// inA is the Kin column mass of a 0 bit (α+γ); inB of a 1 bit;
+	// inNorm is their product-measure total over [0, NumDst).
+	inA, inB, inNorm float64
 	// uniformOut/uniformIn flag the trivial direct-sampling paths.
 	uniformOut, uniformIn bool
 	// outAlias samples empirical out-degrees (index = degree); inAlias
@@ -273,6 +276,8 @@ func New(cfg Config) (*Generator, error) {
 			a, b := kin.A+kin.C, kin.B+kin.D
 			dstSeed := skg.Seed{A: a / 2, B: b / 2, C: a / 2, D: b / 2}
 			g.dstVec = recvec.New(dstSeed, 0, g.dstLevels)
+			g.inA, g.inB = a, b
+			g.inNorm = prefixRowMass(a, b, cfg.NumDst, g.dstLevels)
 		} else {
 			g.uniformIn = true
 		}
@@ -315,6 +320,35 @@ func (g *Generator) ScopeSize(u int64, src *rng.Source) int64 {
 		d = g.cfg.NumDst
 	}
 	return d
+}
+
+// ScopeSizeProb returns the per-trial probability p of source u's
+// Binomial(NumEdges, p) out-degree draw under Kout — the quantity the
+// statistical validator's closed forms need. Uniform and Empirical
+// out-distributions bypass the binomial machinery and return 0.
+func (g *Generator) ScopeSizeProb(u int64) float64 {
+	if g.outAlias != nil || g.uniformOut || u < 0 || u >= g.cfg.NumSrc {
+		return 0
+	}
+	return g.rowMass(u) / g.outNorm
+}
+
+// DestProb returns the probability that a single destination draw
+// yields v, conditioned on the valid range exactly as drawDst's
+// rejection loop conditions it. Empirical in-distributions return 0.
+func (g *Generator) DestProb(v int64) float64 {
+	if g.inAlias != nil || v < 0 || v >= g.cfg.NumDst {
+		return 0
+	}
+	if g.uniformIn {
+		return 1 / float64(g.cfg.NumDst)
+	}
+	ones := 0
+	for x := v; x != 0; x &= x - 1 {
+		ones++
+	}
+	mass := math.Pow(g.inA, float64(g.dstLevels-ones)) * math.Pow(g.inB, float64(ones))
+	return mass / g.inNorm
 }
 
 // drawDst draws one destination in [0, NumDst) from the Kin column

@@ -12,14 +12,18 @@ import (
 )
 
 // Hist is a degree histogram: Hist[d] = number of vertices of degree d.
-// Degree-0 vertices are typically omitted (log-log plots cannot show
-// them), matching the paper's plots.
+// Degree-0 vertices may be recorded explicitly under key 0 — the
+// log-log accessors (Points, PowerLawSlope, Oscillation) exclude them,
+// matching the paper's plots, but Vertices and KS account for them, so
+// isolated-vertex counts survive the histogram instead of being
+// silently dropped.
 type Hist map[int64]int64
 
 // Add records one vertex of degree d.
 func (h Hist) Add(d int64) { h[d]++ }
 
-// Vertices returns the number of vertices recorded.
+// Vertices returns the number of vertices recorded, including explicit
+// degree-0 entries.
 func (h Hist) Vertices() int64 {
 	var n int64
 	for _, c := range h {
@@ -27,6 +31,12 @@ func (h Hist) Vertices() int64 {
 	}
 	return n
 }
+
+// Active returns the number of vertices with degree ≥ 1.
+func (h Hist) Active() int64 { return h.Vertices() - h[0] }
+
+// Zeros returns the number of explicitly recorded degree-0 vertices.
+func (h Hist) Zeros() int64 { return h[0] }
 
 // Edges returns the total degree mass Σ d·count(d).
 func (h Hist) Edges() int64 {
@@ -105,7 +115,8 @@ func (c *DegreeCounter) AddScope(src int64, dsts []int64) {
 }
 
 // OutHist returns the out-degree histogram. Degree-0 entries (vertices
-// recorded via an empty scope) are omitted, per the Hist convention.
+// recorded via an empty scope) are omitted, the historical convention
+// most plot-oriented callers rely on; OutHistFull keeps them.
 func (c *DegreeCounter) OutHist() Hist {
 	h := make(Hist, len(c.out))
 	for _, d := range c.out {
@@ -125,6 +136,40 @@ func (c *DegreeCounter) InHist() Hist {
 		}
 	}
 	return h
+}
+
+// OutHistFull is OutHist with explicit degree-0 tracking: a vertex
+// recorded via an empty scope contributes to Hist[0] instead of
+// vanishing. Isolated-vertex validation needs these counts.
+func (c *DegreeCounter) OutHistFull() Hist {
+	h := make(Hist, len(c.out))
+	for _, d := range c.out {
+		h.Add(d)
+	}
+	return h
+}
+
+// InHistFull is InHist with explicit degree-0 tracking.
+func (c *DegreeCounter) InHistFull() Hist {
+	h := make(Hist, len(c.in))
+	for _, d := range c.in {
+		h.Add(d)
+	}
+	return h
+}
+
+// Touched returns the number of distinct vertices seen on either axis
+// (as a source — even of an empty scope — or as a destination). With
+// the total vertex count it yields the fully-isolated count:
+// |V| − Touched() vertices have no edge in either direction.
+func (c *DegreeCounter) Touched() int64 {
+	n := int64(len(c.out))
+	for v := range c.in {
+		if _, dup := c.out[v]; !dup {
+			n++
+		}
+	}
+	return n
 }
 
 // OutDegrees returns the raw out-degree sequence (order unspecified).

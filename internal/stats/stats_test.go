@@ -298,3 +298,44 @@ func TestKSIndistinguishable(t *testing.T) {
 		t.Fatal("shifted distribution not detected")
 	}
 }
+
+// TestZeroDegreeTracking: degree-0 vertices survive the Full
+// histograms (the isolated-vertex counts validation needs) without
+// perturbing the log-log plot path — Points, PowerLawSlope and
+// Oscillation must be blind to them.
+func TestZeroDegreeTracking(t *testing.T) {
+	c := NewDegreeCounter()
+	c.AddScope(1, []int64{2, 3})
+	c.AddScope(4, nil) // empty scope: vertex 4 exists with out-degree 0
+	c.AddEdge(5, 6)
+
+	full := c.OutHistFull()
+	if full.Zeros() != 1 {
+		t.Fatalf("zero-degree vertices %d, want 1", full.Zeros())
+	}
+	if full.Vertices() != 3 || full.Active() != 2 {
+		t.Fatalf("vertices %d / active %d, want 3 / 2", full.Vertices(), full.Active())
+	}
+	if got := c.OutHist(); got.Vertices() != 2 || got[0] != 0 {
+		t.Fatalf("OutHist must keep dropping zeros, got %v", got)
+	}
+	// The plot path ignores the explicit zeros entirely.
+	if len(full.Points()) != len(c.OutHist().Points()) {
+		t.Fatal("Points must exclude degree 0")
+	}
+	s1, _ := PowerLawSlope(full)
+	s2, _ := PowerLawSlope(c.OutHist())
+	if s1 != s2 && !(math.IsNaN(s1) && math.IsNaN(s2)) {
+		t.Fatalf("PowerLawSlope changed by zero tracking: %v vs %v", s1, s2)
+	}
+	if Oscillation(full) != Oscillation(c.OutHist()) {
+		t.Fatal("Oscillation changed by zero tracking")
+	}
+	// Touched: sources 1, 4, 5 plus destinations 2, 3, 6.
+	if got := c.Touched(); got != 6 {
+		t.Fatalf("Touched %d, want 6", got)
+	}
+	if got := c.InHistFull(); got.Zeros() != 0 || got.Vertices() != 3 {
+		t.Fatalf("InHistFull %v, want three degree-1 destinations", got)
+	}
+}

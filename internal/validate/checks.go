@@ -1,0 +1,260 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// chi2MinExpect is the minimum expected cell count for the chi-square
+// statistic; sparser octave cells are sampling noise.
+const chi2MinExpect = 8
+
+// Evaluate compares an accumulator's observations against a model's
+// closed forms and returns the full verdict. tel may be nil; when set,
+// the validate.* counters are bumped. label names the run in the
+// report ("out/" or "nskg-smoke" — anything helpful).
+func Evaluate(m *Model, acc *Accumulator, th Thresholds, tel *telemetry.Registry, label string) *Report {
+	outFull, inFull, outDegrees, touched, edges := acc.snapshot()
+
+	// Fold the silent vertices of each axis domain into the histograms:
+	// the accumulator only ever sees active vertices (by design — see
+	// Accumulator), the model knows the domain.
+	obsOut := withDomainZeros(outFull, m.ScopeVertices)
+	obsIn := withDomainZeros(inFull, m.DestVertices)
+
+	r := &Report{
+		Schema: ReportSchema,
+		Label:  label,
+		Params: Params{
+			Model:    m.Label,
+			Vertices: m.ScopeVertices,
+			Edges:    m.Trials,
+		},
+	}
+
+	add := func(name string, observed, expected, distance float64, t Threshold, detail string) Status {
+		s := t.status(distance)
+		r.Checks = append(r.Checks, Check{
+			Name:     name,
+			Status:   s,
+			Observed: round6(observed),
+			Expected: round6(expected),
+			Distance: round6(distance),
+			WarnAt:   t.Warn,
+			FailAt:   t.Fail,
+			Detail:   detail,
+		})
+		r.Verdict = worse(r.Verdict, s)
+		return s
+	}
+	r.Verdict = StatusPass
+
+	// Edge total: row masses sum to 1, so this isolates sampler/sink
+	// bugs (lost scopes, double writes) from distribution-shape drift.
+	expEdges := m.ExpectedEdges()
+	add("edges_total", float64(edges), expEdges,
+		relDiff(float64(edges), expEdges), th.Edges, "")
+
+	// Degree distribution shape, both axes, as KS distance over the
+	// full per-vertex CDF (zeros included).
+	expOutHist := m.ExpectedOutHist()
+	add("out_degree_ks", float64(obsOut.MaxDegree()), float64(expOutHist.MaxDegree()),
+		stats.KS(obsOut, expOutHist), th.OutKS,
+		"distance is KS over vertices; observed/expected show max degree")
+	expInHist := m.ExpectedInHist()
+	add("in_degree_ks", float64(obsIn.MaxDegree()), float64(expInHist.MaxDegree()),
+		stats.KS(obsIn, expInHist), th.InKS,
+		"distance is KS over vertices; observed/expected show max degree")
+
+	// Chi-square over octave cells of the out-degree histogram: a
+	// localized complement to KS (which dilutes single-octave bulges).
+	obsCells, expCells, cells := octaveCompare(obsOut, m.outE)
+	if cells > 0 {
+		chi2 := stats.ChiSquare(obsCells, expCells, chi2MinExpect) / float64(cells)
+		add("out_degree_chi2", chi2, 1, chi2, th.OutChi2,
+			fmt.Sprintf("reduced chi-square over %d octave cells", cells))
+	}
+
+	// Zero-degree and isolated-vertex counts (the headline Seshadhri et
+	// al. closed forms).
+	expZeroOut := m.ExpectedZeroOut()
+	obsZeroOut := float64(obsOut[0])
+	add("zero_out_vertices", obsZeroOut, expZeroOut,
+		countDiff(obsZeroOut, expZeroOut), th.ZeroOut, "")
+	expZeroIn := m.ExpectedZeroIn()
+	obsZeroIn := float64(obsIn[0])
+	add("zero_in_vertices", obsZeroIn, expZeroIn,
+		countDiff(obsZeroIn, expZeroIn), th.ZeroIn, "")
+
+	expIso := m.ExpectedIsolated()
+	var obsIso int64
+	if !math.IsNaN(expIso) {
+		obsIso = m.ScopeVertices - touched
+		if obsIso < 0 {
+			obsIso = 0
+		}
+		add("isolated_vertices", float64(obsIso), expIso,
+			countDiff(float64(obsIso), expIso), th.Isolated, "")
+	}
+
+	// Zipf rank-frequency slope: the observed fit against the same fit
+	// run on the expected curve. The asymptotic Lemma 6 slope is noted
+	// for reference; a whole-curve fit at finite scale does not reach
+	// it, so comparing against it directly would misfire.
+	obsZipf, _ := stats.ZipfSlope(outDegrees)
+	expZipf := m.ExpectedZipfSlope()
+	if !math.IsNaN(expZipf) && !math.IsNaN(obsZipf) {
+		detail := ""
+		if !math.IsNaN(m.OutZipfSlope) {
+			detail = fmt.Sprintf("asymptotic Lemma 6 slope %.4f", m.OutZipfSlope)
+		}
+		add("out_zipf_slope", obsZipf, expZipf,
+			math.Abs(obsZipf-expZipf), th.ZipfSlope, detail)
+	}
+
+	// Oscillation: the Figure-9 gate. The check is boolean agreement —
+	// a model predicted to ripple must ripple, a model predicted clean
+	// must come out clean.
+	obsOsc := stats.Oscillation(obsOut)
+	predOsc := m.PredictedOutOscillation()
+	r.OscillationDetected = obsOsc >= th.OscillationDetect
+	r.OscillationPredicted = predOsc >= th.OscillationDetect
+	oscStatus := StatusPass
+	if r.OscillationDetected != r.OscillationPredicted {
+		oscStatus = StatusFail
+	}
+	r.Checks = append(r.Checks, Check{
+		Name:     "oscillation",
+		Status:   oscStatus,
+		Observed: round6(obsOsc),
+		Expected: round6(predOsc),
+		Distance: round6(math.Abs(obsOsc - predOsc)),
+		WarnAt:   th.OscillationDetect,
+		FailAt:   th.OscillationDetect,
+		Detail: fmt.Sprintf("detected=%v predicted=%v (score threshold %g)",
+			r.OscillationDetected, r.OscillationPredicted, th.OscillationDetect),
+	})
+	r.Verdict = worse(r.Verdict, oscStatus)
+
+	r.Observed = Observed{
+		Edges:          edges,
+		ActiveOut:      outFull.Active(),
+		ActiveIn:       inFull.Active(),
+		ZeroOut:        int64(obsZeroOut),
+		ZeroIn:         int64(obsZeroIn),
+		MaxOutDegree:   obsOut.MaxDegree(),
+		MaxInDegree:    obsIn.MaxDegree(),
+		OutOscillation: round6(obsOsc),
+		OutZipfSlope:   optF(obsZipf),
+	}
+	if !math.IsNaN(expIso) {
+		r.Observed.Isolated = &obsIso
+	}
+	r.Expected = Expected{
+		Edges:          round6(expEdges),
+		ZeroOut:        round6(expZeroOut),
+		ZeroIn:         round6(expZeroIn),
+		Isolated:       optF(expIso),
+		OutOscillation: round6(predOsc),
+		OutZipfSlope:   optF(expZipf),
+	}
+
+	record(tel, r)
+	return r
+}
+
+// record bumps the validate.* counters for one evaluated report.
+func record(tel *telemetry.Registry, r *Report) {
+	if tel == nil {
+		return
+	}
+	tel.Counter(MetricRuns).Inc()
+	tel.Counter(MetricEdges).Add(r.Observed.Edges)
+	tel.Counter(MetricChecks).Add(int64(len(r.Checks)))
+	for _, c := range r.Checks {
+		switch c.Status {
+		case StatusFail:
+			tel.Counter(MetricChecksFail).Inc()
+		case StatusWarn:
+			tel.Counter(MetricChecksWarn).Inc()
+		default:
+			tel.Counter(MetricChecksPass).Inc()
+		}
+	}
+	if r.Failed() {
+		tel.Counter(MetricReportsFailed).Inc()
+	}
+	if r.OscillationDetected {
+		tel.Counter(MetricOscDetected).Inc()
+	}
+}
+
+// withDomainZeros copies h and books the domain's silent vertices
+// under degree 0.
+func withDomainZeros(h stats.Hist, domain int64) stats.Hist {
+	out := make(stats.Hist, len(h)+1)
+	for d, c := range h {
+		out[d] = c
+	}
+	if missing := domain - h.Vertices(); missing > 0 {
+		out[0] += missing
+	}
+	return out
+}
+
+// relDiff is |a−b| / |b| (0 when both are 0).
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// countDiff measures a count's deviation beyond sampling noise: the
+// absolute deviation minus a 3·√exp allowance, relative to the
+// expected population with a floored denominator. √exp bounds the
+// standard deviation of a sum of independent zero-indicators
+// (Σ p(1−p) ≤ Σ p), so a 2σ draw against a ~50-vertex expectation
+// scores 0 — agreement, not divergence — while a wrong-parameter graph
+// (counts off by 2×) still scores far past any fail threshold.
+func countDiff(obs, exp float64) float64 {
+	dev := math.Abs(obs-exp) - 3*math.Sqrt(math.Max(exp, 0))
+	if dev <= 0 {
+		return 0
+	}
+	return dev / math.Max(exp, 32)
+}
+
+// octaveCompare buckets the observed out-degree histogram into the
+// model's octave cells and returns (observed, expected, comparable
+// cell count). Observed degrees beyond the expected grid land in
+// cells with ~zero expectation, which the chi-square's minExpect
+// filter then skips — the KS check covers such tails.
+func octaveCompare(obs stats.Hist, e *axisEval) (obsCells, expCells []float64, cells int) {
+	expCells = e.octaveCells()
+	kMax := len(expCells) - 1
+	for _, p := range obs.Points() {
+		if k := int(math.Floor(math.Log2(float64(p.Degree)))); k > kMax {
+			kMax = k
+		}
+	}
+	obsCells = make([]float64, kMax+1)
+	for _, p := range obs.Points() {
+		obsCells[int(math.Floor(math.Log2(float64(p.Degree))))] += float64(p.Count)
+	}
+	for len(expCells) < len(obsCells) {
+		expCells = append(expCells, 0)
+	}
+	for _, exp := range expCells {
+		if exp >= chi2MinExpect {
+			cells++
+		}
+	}
+	return obsCells, expCells, cells
+}

@@ -1,0 +1,153 @@
+package validate
+
+import "math"
+
+// The AVS engine draws each scope's destinations *distinct* (the
+// Section 4.2 rejection loop), so the in-degree of a vertex is not the
+// naive column binomial: rejected duplicates — overwhelmingly repeats
+// of popular destinations — force extra raw draws until the distinct
+// quota is met, and those extra draws land disproportionately on
+// unpopular destinations. The naive model overstates zero-in-degree
+// counts badly (~4x at scale 10).
+//
+// dedupModel corrects this with a per-scope-class mean-field: a scope
+// whose drawn size averages s̄ₒ = |E|·pₒ makes κₒ·s raw draws, the
+// per-class inflation κₒ ≥ 1 fixed by the defining invariant of the
+// rejection loop — the expected number of distinct destinations must
+// equal the drawn size:
+//
+//	Σ_v count_v · (1 − (1 − pₒ·γ_v)^|E|) = s̄ₒ,  γ_v = 1−(1−p_v)^κₒ
+//
+// (the inner expression is E_s[(1−p_v)^{κₒ·s}] over the scope-size
+// draw s ~ Binomial(|E|, pₒ), so scope-size variance is retained).
+// Small scopes reject almost nothing (κₒ→1); head scopes that cover a
+// big fraction of the destination range inflate hard. Scopes draw
+// independently, so a destination's in-degree is Poisson-binomial
+// across scope classes — evaluated as a normal with the exact zero
+// term carried separately.
+type dedupModel struct {
+	classes []dedupClass
+	trials  float64
+}
+
+// dedupClass is one coarse scope-size class: count scopes whose drawn
+// size is Binomial(trials, po), redrawing with inflation kappa.
+type dedupClass struct {
+	count, po, kappa float64
+}
+
+// dedupCoarse caps the class lists used inside the correction; the
+// correction is itself mean-field, so ~2⁸ classes per side lose
+// nothing while keeping the cost trivial.
+const dedupCoarse = 256
+
+func newDedupModel(out, in []probClass, trials float64) *dedupModel {
+	coarseIn := coarsen(in, dedupCoarse)
+	dm := &dedupModel{trials: trials}
+	for _, o := range coarsen(out, dedupCoarse) {
+		po := math.Exp2(o.logP)
+		dm.classes = append(dm.classes, dedupClass{
+			count: o.count,
+			po:    po,
+			kappa: solveClassKappa(po, trials, coarseIn),
+		})
+	}
+	return dm
+}
+
+// classHit is q̄ₒ(v): the probability that one class-o scope contains
+// destination v, at inflation kappa.
+func classHit(po, trials, kappa, logPv float64) float64 {
+	gamma := -math.Expm1(kappa * math.Log1p(-math.Exp2(logPv)))
+	return -math.Expm1(trials * math.Log1p(-po*gamma))
+}
+
+// classDistinct is the expected number of distinct destinations in one
+// class-o scope at inflation kappa.
+func classDistinct(po, trials, kappa float64, in []probClass) float64 {
+	var s float64
+	for _, c := range in {
+		s += c.count * classHit(po, trials, kappa, c.logP)
+	}
+	return s
+}
+
+// solveClassKappa bisects the distinct-count invariant. The inflation
+// is capped at the generator's own attempt budget — the rejection loop
+// makes at most 64·size+1024 raw draws (avs.go) — so head classes
+// whose quota is unreachable saturate exactly where the generator
+// gives up, instead of at a fictitious every-destination-hit limit.
+func solveClassKappa(po, trials float64, in []probClass) float64 {
+	target := trials * po
+	kappaMax := 64 + 1024/math.Max(target, 1)
+	if classDistinct(po, trials, 1, in) >= target {
+		return 1
+	}
+	if classDistinct(po, trials, kappaMax, in) < target {
+		return kappaMax
+	}
+	lo, hi := 1.0, kappaMax
+	for i := 0; i < 48; i++ {
+		mid := (lo + hi) / 2
+		if classDistinct(po, trials, mid, in) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// moments returns the in-degree mean, standard deviation and exact
+// zero probability of a destination with log2 per-draw probability
+// logPv.
+func (dm *dedupModel) moments(logPv float64) (mu, sigma, p0 float64) {
+	var varsum, logP0 float64
+	for _, o := range dm.classes {
+		q := classHit(o.po, dm.trials, o.kappa, logPv)
+		mu += o.count * q
+		varsum += o.count * q * (1 - q)
+		logP0 += o.count * math.Log1p(-q)
+	}
+	return mu, math.Sqrt(varsum), math.Exp(logP0)
+}
+
+// evals maps the in-axis probability classes through the correction.
+func (dm *dedupModel) evals(in []probClass) []classEval {
+	ces := make([]classEval, len(in))
+	for i, c := range in {
+		mu, sigma, p0 := dm.moments(c.logP)
+		ces[i] = classEval{count: c.count, mu: mu, sigma: sigma, p0: p0}
+	}
+	return ces
+}
+
+// coarsen re-buckets probability classes onto a coarser log2 grid of
+// at most n representatives, mass-weighting each representative.
+func coarsen(classes []probClass, n int) []probClass {
+	if len(classes) <= n {
+		return classes
+	}
+	minL, maxL := classes[0].logP, classes[0].logP
+	for _, c := range classes {
+		minL = math.Min(minL, c.logP)
+		maxL = math.Max(maxL, c.logP)
+	}
+	q := (maxL - minL) / float64(n-1)
+	if q <= 0 {
+		return classes
+	}
+	merged := make([]probClass, n)
+	for _, c := range classes {
+		k := int(math.Round((c.logP - minL) / q))
+		merged[k].logP += c.logP * c.count // weighted sum; divided out below
+		merged[k].count += c.count
+	}
+	out := make([]probClass, 0, n)
+	for _, b := range merged {
+		if b.count > 0 {
+			out = append(out, probClass{logP: b.logP / b.count, count: b.count})
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package validate
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gformat"
+)
+
+// The satellite property: TSV, ADJ6 and CSR6 encodings of the same
+// generated range must validate byte-identically. The encodings differ
+// in exactly the ways that would break a naive accumulator — TSV has
+// no scope structure, ADJ6 omits empty scopes, CSR6 materializes every
+// vertex — so identical report JSON proves the observed counts are a
+// property of the graph, not the serialization.
+func TestFormatParity(t *testing.T) {
+	cfg := core.DefaultConfig(10)
+	cfg.MasterSeed = 11
+	cfg.Workers = 3
+	m, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports [][]byte
+	for _, f := range []gformat.Format{gformat.TSV, gformat.ADJ6, gformat.CSR6} {
+		dir := t.TempDir()
+		if _, err := core.Generate(cfg, core.FileSinks(dir, f, cfg.NumVertices())); err != nil {
+			t.Fatalf("%v: generate: %v", f, err)
+		}
+		acc := NewAccumulator()
+		if err := acc.ConsumeDir(dir); err != nil {
+			t.Fatalf("%v: consume: %v", f, err)
+		}
+		if acc.Files() != cfg.Workers {
+			t.Errorf("%v: consumed %d part files, want %d", f, acc.Files(), cfg.Workers)
+		}
+		r := Evaluate(m, acc, DefaultThresholds(), nil, "parity")
+		j, err := r.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, j)
+	}
+	for i := 1; i < len(reports); i++ {
+		if !bytes.Equal(reports[0], reports[i]) {
+			t.Errorf("report %d differs from report 0:\n%s\n----\n%s", i, reports[i], reports[0])
+		}
+	}
+}
+
+// A live-collected run and a re-read of its files must agree too —
+// CollectingSinks is just another encoding of the same scopes.
+func TestCollectingSinksMatchesFileReplay(t *testing.T) {
+	cfg := core.DefaultConfig(9)
+	cfg.MasterSeed = 5
+	cfg.Workers = 2
+	m, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	live := NewAccumulator()
+	if _, err := core.Generate(cfg, CollectingSinks(core.FileSinks(dir, gformat.ADJ6, cfg.NumVertices()), live)); err != nil {
+		t.Fatal(err)
+	}
+	replay := NewAccumulator()
+	if err := replay.ConsumeDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	jl, err := Evaluate(m, live, DefaultThresholds(), nil, "x").JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := Evaluate(m, replay, DefaultThresholds(), nil, "x").JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jl, jr) {
+		t.Errorf("live and replayed reports differ:\n%s\n----\n%s", jl, jr)
+	}
+}
+
+// Edge case: an accumulator that saw nothing. Every vertex is a domain
+// zero, the edge total fails, and nothing panics or divides by zero.
+func TestEvaluateEmptyGraph(t *testing.T) {
+	cfg := core.DefaultConfig(6)
+	m, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Evaluate(m, NewAccumulator(), DefaultThresholds(), nil, "empty")
+	if r.Observed.Edges != 0 {
+		t.Errorf("observed edges = %d, want 0", r.Observed.Edges)
+	}
+	if r.Observed.ZeroOut != cfg.NumVertices() {
+		t.Errorf("zero-out = %d, want the whole domain %d", r.Observed.ZeroOut, cfg.NumVertices())
+	}
+	if !r.Failed() {
+		t.Errorf("empty graph verdict = %s, want fail", r.Verdict)
+	}
+	for _, c := range r.Checks {
+		if math.IsNaN(c.Distance) {
+			t.Errorf("check %s has NaN distance on the empty graph", c.Name)
+		}
+	}
+}
+
+// Edge case: a single vertex with a self-loop, the smallest non-empty
+// graph every format can express.
+func TestEvaluateSingleVertex(t *testing.T) {
+	cfg := core.DefaultConfig(1)
+	m, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewAccumulator()
+	acc.AddScope(0, []int64{0})
+	r := Evaluate(m, acc, DefaultThresholds(), nil, "single")
+	if r.Observed.Edges != 1 {
+		t.Errorf("observed edges = %d, want 1", r.Observed.Edges)
+	}
+	if r.Observed.ZeroOut != 1 || r.Observed.ZeroIn != 1 {
+		t.Errorf("zero-out/in = %d/%d, want 1/1 (vertex 1 silent in a 2-vertex domain)",
+			r.Observed.ZeroOut, r.Observed.ZeroIn)
+	}
+	if r.Observed.MaxOutDegree != 1 || r.Observed.MaxInDegree != 1 {
+		t.Errorf("max out/in degree = %d/%d, want 1/1", r.Observed.MaxOutDegree, r.Observed.MaxInDegree)
+	}
+}
+
+// Empty scopes must not be recorded (the format-parity invariant), and
+// directories without part files must error rather than validate an
+// empty observation.
+func TestAccumulatorInvariants(t *testing.T) {
+	acc := NewAccumulator()
+	acc.AddScope(3, nil)
+	if acc.Edges() != 0 {
+		t.Errorf("empty scope recorded %d edges", acc.Edges())
+	}
+	if err := acc.ConsumeDir(t.TempDir()); err == nil {
+		t.Error("ConsumeDir accepted a directory with no part files")
+	}
+	if _, err := FormatForPath(filepath.Join("x", "part-00000.xyz")); err == nil {
+		t.Error("FormatForPath accepted an unknown extension")
+	}
+}

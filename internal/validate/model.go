@@ -1,0 +1,264 @@
+// Package validate compares generated graphs against closed-form
+// expectations of the generating model — the statistical fidelity
+// harness the paper argues for visually (Figure 9) and Seshadhri,
+// Pinar & Kolda ("An In-Depth Analysis of Stochastic Kronecker
+// Graphs") derive analytically.
+//
+// The package has three layers:
+//
+//   - expectation models (model.go, ccdf.go): exact per-vertex edge
+//     probabilities of the SKG/NSKG/ERV parameterizations collapsed
+//     into probability classes, from which expected degree CCDFs,
+//     zero-degree and isolated-vertex counts, edge totals, and a
+//     predicted Figure-9 oscillation score follow in closed form;
+//   - streaming accumulators (accumulate.go): single-pass collectors
+//     of observed degree distributions from TSV/ADJ6/CSR6 part files
+//     or riding along a live generation via CollectingSinks, with
+//     memory proportional to active vertices, never edges;
+//   - verdicts (report.go, checks.go): a Report pairing observed and
+//     expected values through the KS/chi-square machinery of
+//     internal/stats, with per-check pass/warn/fail thresholds and
+//     validate.* telemetry counters.
+package validate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/erv"
+)
+
+// probClass is one group of vertices sharing (approximately) the same
+// per-trial edge probability: count vertices whose single stochastic
+// trial succeeds with probability 2^logP. For plain SKG the classes
+// are exact — the L+1 popcount classes of Seshadhri et al. — and for
+// NSKG they are per-level bit patterns coalesced on a fine log grid.
+type probClass struct {
+	logP  float64
+	count float64
+}
+
+// jointClass pairs a vertex group's scope-axis and destination-axis
+// probabilities, which the isolated-vertex expectation needs: a vertex
+// is isolated only when both its out- and in-degree are zero, and both
+// probabilities are functions of the same bit pattern.
+type jointClass struct {
+	logOut, logIn float64
+	count         float64
+}
+
+// Model is the closed-form expectation side of a validation: enough of
+// the generating process to predict degree distributions without
+// generating. Out always refers to the scope axis as written in the
+// part files (under AVS-I orientation that is the original graph's
+// in-degree), In to the destination axis, so observed accumulators
+// compare against it without orientation special cases.
+type Model struct {
+	// Label names the parameterization in reports ("skg", "nskg", "erv").
+	Label string
+	// ScopeVertices and DestVertices are the axis domain sizes.
+	ScopeVertices, DestVertices int64
+	// Trials is the binomial trial count (the target |E|).
+	Trials int64
+	// OutZipfSlope is the theoretical rank-frequency slope of the scope
+	// axis (Lemma 6), NaN when the parameterization does not fix one.
+	OutZipfSlope float64
+
+	out, in []probClass
+	joint   []jointClass // nil when the axes have different domains (ERV)
+	// uniformOut, when non-nil, replaces the binomial out-axis with an
+	// exact uniform degree box [Min, Max] (the ERV Uniform case).
+	uniformOut *[2]int64
+	// dedup marks that scopes draw distinct destinations, engaging the
+	// in-axis saturation correction (see dedup.go).
+	dedup   bool
+	inDedup *dedupModel
+	// outE and inE are the grid evaluations, computed once at build.
+	outE, inE *axisEval
+}
+
+// maxClasses caps the coalesced class count; past it the log-grid
+// quantum doubles. 2^16 classes keep the accumulated representative
+// error well under the loosest check threshold while bounding the CCDF
+// evaluation cost at CLI-interactive latency.
+const maxClasses = 1 << 16
+
+// FromConfig builds the expectation model of a core generation
+// configuration — plain SKG when NoiseParam is zero, NSKG otherwise,
+// with the noise matrices reconstructed deterministically from the
+// master seed exactly as the generator does (so the prediction is for
+// this graph, not the noise-averaged ensemble).
+func FromConfig(cfg core.Config) (*Model, error) {
+	g, err := core.NewScopeGenerator(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	ac := g.Config() // seed already transposed for AVS-I; noise with it
+	levels := cfg.Scale
+	rows := make([][2]float64, levels)
+	cols := make([][2]float64, levels)
+	for i := range rows {
+		s := ac.Seed
+		if ac.Noise != nil {
+			s = ac.Noise.Level(i)
+		}
+		rows[i] = [2]float64{s.RowSum(0), s.RowSum(1)}
+		cols[i] = [2]float64{s.ColSum(0), s.ColSum(1)}
+	}
+	m := &Model{
+		Label:         "skg",
+		ScopeVertices: cfg.NumVertices(),
+		DestVertices:  cfg.NumVertices(),
+		Trials:        cfg.NumEdges(),
+		OutZipfSlope:  ac.Seed.OutZipfSlope(),
+	}
+	if cfg.NoiseParam > 0 {
+		m.Label = "nskg"
+	}
+	m.dedup = !cfg.AllowDuplicates
+	m.joint = buildJoint(rows, cols)
+	m.out, m.in = marginalize(m.joint)
+	m.finish()
+	return m, nil
+}
+
+// ervEnumLimit bounds direct enumeration of ERV vertex ranges (they
+// need not be powers of two, so the popcount-class shortcut does not
+// apply).
+const ervEnumLimit = int64(1) << 22
+
+// FromERV builds the expectation model of an ERV edge collection
+// (Section 6.1). Zipfian and Gaussian axes map to per-vertex binomial
+// probabilities exactly as erv.Generator draws them; Uniform out-
+// degrees get their exact box CCDF. Empirical axes are not modeled.
+func FromERV(cfg erv.Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.OutDist.Kind == erv.Empirical || cfg.InDist.Kind == erv.Empirical {
+		return nil, fmt.Errorf("validate: empirical ERV distributions have no closed form")
+	}
+	if cfg.NumSrc > ervEnumLimit || cfg.NumDst > ervEnumLimit {
+		return nil, fmt.Errorf("validate: ERV ranges beyond %d vertices not supported", ervEnumLimit)
+	}
+	g, err := erv.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Label:         "erv",
+		ScopeVertices: cfg.NumSrc,
+		DestVertices:  cfg.NumDst,
+		Trials:        cfg.NumEdges,
+		OutZipfSlope:  math.NaN(),
+	}
+	if cfg.OutDist.Kind == erv.Zipfian {
+		m.OutZipfSlope = cfg.OutDist.Slope
+	}
+	m.dedup = !cfg.AllowDuplicates
+	if cfg.OutDist.Kind == erv.Uniform {
+		m.uniformOut = &[2]int64{cfg.OutDist.Min, cfg.OutDist.Max}
+	} else {
+		m.out = enumerateClasses(cfg.NumSrc, g.ScopeSizeProb)
+	}
+	m.in = enumerateClasses(cfg.NumDst, g.DestProb)
+	m.finish()
+	return m, nil
+}
+
+// buildJoint runs the per-level product DP over (row mass, column
+// mass) pairs, coalescing classes on a log2 grid whose quantum doubles
+// adaptively whenever the class count would exceed maxClasses. Plain
+// SKG (identical levels) coalesces exactly into popcount classes; the
+// adaptive quantum only engages for NSKG at large scales, where the
+// per-class representative error stays below levels·quantum/2 log2
+// units. Iteration order is deterministic (sorted keys) so repeated
+// runs produce bit-identical expectations.
+func buildJoint(rows, cols [][2]float64) []jointClass {
+	q := math.Ldexp(1, -20)
+	cur := []jointClass{{0, 0, 1}}
+	for lvl := range rows {
+		lr := [2]float64{math.Log2(rows[lvl][0]), math.Log2(rows[lvl][1])}
+		lc := [2]float64{math.Log2(cols[lvl][0]), math.Log2(cols[lvl][1])}
+		next := make(map[[2]int64]jointClass, 2*len(cur))
+		for {
+			clear(next)
+			for _, c := range cur {
+				for b := 0; b < 2; b++ {
+					addJoint(next, q, c.logOut+lr[b], c.logIn+lc[b], c.count)
+				}
+			}
+			if len(next) <= maxClasses {
+				break
+			}
+			q *= 2
+		}
+		cur = sortedJoint(next)
+	}
+	return cur
+}
+
+func addJoint(m map[[2]int64]jointClass, q, lo, li, cnt float64) {
+	k := [2]int64{int64(math.Round(lo / q)), int64(math.Round(li / q))}
+	c, ok := m[k]
+	if !ok {
+		m[k] = jointClass{lo, li, cnt}
+		return
+	}
+	tot := c.count + cnt
+	c.logOut = (c.logOut*c.count + lo*cnt) / tot
+	c.logIn = (c.logIn*c.count + li*cnt) / tot
+	c.count = tot
+	m[k] = c
+}
+
+func sortedJoint(m map[[2]int64]jointClass) []jointClass {
+	keys := make([][2]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]jointClass, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}
+
+// marginalize projects the joint classes onto each axis, re-coalescing
+// identical representatives.
+func marginalize(joint []jointClass) (out, in []probClass) {
+	o := make(map[float64]float64, len(joint))
+	i := make(map[float64]float64, len(joint))
+	for _, c := range joint {
+		o[c.logOut] += c.count
+		i[c.logIn] += c.count
+	}
+	return sortedClasses(o), sortedClasses(i)
+}
+
+func sortedClasses(m map[float64]float64) []probClass {
+	out := make([]probClass, 0, len(m))
+	for lp, cnt := range m {
+		out = append(out, probClass{lp, cnt})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].logP < out[b].logP })
+	return out
+}
+
+// enumerateClasses groups vertices of a (small) explicit range by
+// per-trial probability.
+func enumerateClasses(n int64, prob func(int64) float64) []probClass {
+	m := make(map[float64]float64)
+	for v := int64(0); v < n; v++ {
+		m[math.Log2(prob(v))] += 1
+	}
+	return sortedClasses(m)
+}

@@ -1,0 +1,195 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/erv"
+)
+
+// Plain SKG must coalesce exactly into the L+1 popcount classes of
+// Seshadhri et al., with binomial-coefficient populations.
+func TestSKGPopcountClasses(t *testing.T) {
+	const scale = 8
+	cfg := core.DefaultConfig(scale)
+	cfg.MasterSeed = 7
+	m, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Label != "skg" {
+		t.Fatalf("label = %q, want skg", m.Label)
+	}
+	if len(m.out) != scale+1 {
+		t.Fatalf("out classes = %d, want %d", len(m.out), scale+1)
+	}
+	var vertices, mass float64
+	for k, c := range m.out {
+		want := float64(binom(scale, k))
+		if c.count != want {
+			t.Errorf("class %d: count %v, want C(%d,%d) = %v", k, c.count, scale, k, want)
+		}
+		vertices += c.count
+		mass += c.count * math.Exp2(c.logP)
+	}
+	if vertices != float64(int64(1)<<scale) {
+		t.Errorf("class counts sum to %v, want %d", vertices, int64(1)<<scale)
+	}
+	// Row masses of a stochastic seed sum to 1, so the per-trial hit
+	// probability over all vertices must too.
+	if math.Abs(mass-1) > 1e-9 {
+		t.Errorf("total per-trial mass = %v, want 1", mass)
+	}
+	if got := m.ExpectedEdges(); math.Abs(got-float64(m.Trials)) > 1e-6*float64(m.Trials) {
+		t.Errorf("ExpectedEdges = %v, want ~%d", got, m.Trials)
+	}
+}
+
+func binom(n, k int) int64 {
+	r := int64(1)
+	for i := 0; i < k; i++ {
+		r = r * int64(n-i) / int64(i+1)
+	}
+	return r
+}
+
+// NSKG classes differ per bit pattern but must preserve the vertex
+// count and unit per-trial mass through the adaptive coalescing.
+func TestNSKGClassMassConserved(t *testing.T) {
+	cfg := core.DefaultConfig(12)
+	cfg.NoiseParam = 0.1
+	cfg.MasterSeed = 7
+	m, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Label != "nskg" {
+		t.Fatalf("label = %q, want nskg", m.Label)
+	}
+	if len(m.out) <= cfg.Scale+1 {
+		t.Fatalf("nskg coalesced to %d classes; expected more than the %d popcount classes", len(m.out), cfg.Scale+1)
+	}
+	var vertices, mass float64
+	for _, c := range m.out {
+		vertices += c.count
+		mass += c.count * math.Exp2(c.logP)
+	}
+	if math.Abs(vertices-float64(cfg.NumVertices())) > 1e-6 {
+		t.Errorf("class counts sum to %v, want %d", vertices, cfg.NumVertices())
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Errorf("total per-trial mass = %v, want 1", mass)
+	}
+}
+
+func TestExpectedCCDFShape(t *testing.T) {
+	cfg := core.DefaultConfig(10)
+	m, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ExpectedOutCCDF(0); got != float64(cfg.NumVertices()) {
+		t.Errorf("CCDF(0) = %v, want |V| = %d", got, cfg.NumVertices())
+	}
+	prev := math.Inf(1)
+	for d := int64(1); d <= 512; d++ {
+		cur := m.ExpectedOutCCDF(d)
+		if cur > prev+1e-9 {
+			t.Fatalf("CCDF not monotone at d=%d: %v > %v", d, cur, prev)
+		}
+		if cur < 0 {
+			t.Fatalf("CCDF(%d) = %v < 0", d, cur)
+		}
+		prev = cur
+	}
+	// The expected histogram's carried rounding must preserve the
+	// domain total to within the final half-count.
+	h := m.ExpectedOutHist()
+	if diff := h.Vertices() - cfg.NumVertices(); diff < -1 || diff > 1 {
+		t.Errorf("ExpectedOutHist vertices = %d, want %d ± 1", h.Vertices(), cfg.NumVertices())
+	}
+}
+
+// The dedup correction must collapse to the naive binomial when scopes
+// are tiny (kappa → 1) and never inflate past the generator's attempt
+// budget.
+func TestDedupKappaBounds(t *testing.T) {
+	in := []probClass{{logP: -10, count: 1024}}
+	if k := solveClassKappa(math.Exp2(-20), 1<<20, in); math.Abs(k-1) > 0.05 {
+		t.Errorf("tiny-scope kappa = %v, want ~1", k)
+	}
+	// A head scope asked for more distinct destinations than the range
+	// plausibly yields must cap at the 64 + 1024/size attempt budget.
+	trials := float64(1 << 20)
+	po := 0.25 // target size ≈ 262144 from only 1024 destinations
+	target := trials * po
+	budget := 64 + 1024/target
+	if k := solveClassKappa(po, trials, in); k > budget+1e-9 {
+		t.Errorf("saturated kappa = %v, exceeds attempt-budget cap %v", k, budget)
+	}
+}
+
+func TestCoarsenPreservesMass(t *testing.T) {
+	var classes []probClass
+	var total float64
+	for i := 0; i < 10000; i++ {
+		c := probClass{logP: -1 - float64(i)/300, count: float64(1 + i%17)}
+		classes = append(classes, c)
+		total += c.count
+	}
+	out := coarsen(classes, dedupCoarse)
+	if len(out) > dedupCoarse {
+		t.Fatalf("coarsen returned %d classes, cap %d", len(out), dedupCoarse)
+	}
+	var got float64
+	for _, c := range out {
+		got += c.count
+	}
+	if math.Abs(got-total) > 1e-6 {
+		t.Errorf("coarsen mass %v, want %v", got, total)
+	}
+}
+
+func TestFromERVUniformBox(t *testing.T) {
+	cfg := erv.Config{
+		NumSrc:   1000,
+		NumDst:   500,
+		NumEdges: 10000,
+		OutDist:  erv.Dist{Kind: erv.Uniform, Min: 5, Max: 15},
+		InDist:   erv.Dist{Kind: erv.Gaussian},
+	}
+	m, err := FromERV(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1000 * 10.0; m.ExpectedEdges() != want {
+		t.Errorf("uniform ExpectedEdges = %v, want %v", m.ExpectedEdges(), want)
+	}
+	if z := m.ExpectedZeroOut(); z != 0 {
+		t.Errorf("uniform [5,15] ExpectedZeroOut = %v, want 0", z)
+	}
+	if got := m.ExpectedOutCCDF(5); got != 1000 {
+		t.Errorf("CCDF(min) = %v, want all 1000 sources", got)
+	}
+	if got := m.ExpectedOutCCDF(16); got != 0 {
+		t.Errorf("CCDF(max+1) = %v, want 0", got)
+	}
+	// Disjoint axis domains: no isolated-vertex closed form.
+	if !math.IsNaN(m.ExpectedIsolated()) {
+		t.Errorf("ERV ExpectedIsolated = %v, want NaN", m.ExpectedIsolated())
+	}
+}
+
+func TestFromERVRejectsEmpirical(t *testing.T) {
+	cfg := erv.Config{
+		NumSrc:   100,
+		NumDst:   100,
+		NumEdges: 1000,
+		OutDist:  erv.Dist{Kind: erv.Empirical, Weights: []float64{1, 2, 3}},
+		InDist:   erv.Dist{Kind: erv.Gaussian},
+	}
+	if _, err := FromERV(cfg); err == nil {
+		t.Fatal("FromERV accepted an empirical distribution")
+	}
+}

@@ -1,0 +1,230 @@
+package validate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// ReportSchema versions the Report JSON shape.
+const ReportSchema = "trilliong-validate/v1"
+
+// Status is a check or report verdict, ordered pass < warn < fail.
+type Status string
+
+const (
+	// StatusPass means observed and expected agree within the warn
+	// threshold (or the check does not apply to this parameterization).
+	StatusPass Status = "pass"
+	// StatusWarn means the divergence crossed the warn threshold but not
+	// the fail one — worth a look, not a gate failure by itself.
+	StatusWarn Status = "warn"
+	// StatusFail means the divergence crossed the fail threshold (or a
+	// boolean check like oscillation flipped against its prediction).
+	StatusFail Status = "fail"
+)
+
+// worse returns the more severe of two statuses.
+func worse(a, b Status) Status {
+	rank := func(s Status) int {
+		switch s {
+		case StatusFail:
+			return 2
+		case StatusWarn:
+			return 1
+		}
+		return 0
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
+}
+
+// Threshold is one check's warn/fail distance pair: distance below
+// Warn passes, in [Warn, Fail) warns, at or above Fail fails.
+type Threshold struct {
+	Warn float64 `json:"warn"`
+	Fail float64 `json:"fail"`
+}
+
+func (t Threshold) status(distance float64) Status {
+	switch {
+	case distance >= t.Fail:
+		return StatusFail
+	case distance >= t.Warn:
+		return StatusWarn
+	default:
+		return StatusPass
+	}
+}
+
+// Thresholds bundles every check's threshold. Distances are relative
+// errors for scalar checks, KS distance for distribution checks,
+// reduced (per-cell) statistic for chi-square, and absolute slope
+// difference for the Zipf check. Defaults are calibrated on seeded
+// Graph500 runs at scales 10–16 (see checks_test.go); the in-axis and
+// isolated checks run looser because their closed forms approximate
+// the destination draws as independent binomials.
+type Thresholds struct {
+	Edges     Threshold `json:"edges"`
+	OutKS     Threshold `json:"out_ks"`
+	InKS      Threshold `json:"in_ks"`
+	OutChi2   Threshold `json:"out_chi2"`
+	ZeroOut   Threshold `json:"zero_out"`
+	ZeroIn    Threshold `json:"zero_in"`
+	Isolated  Threshold `json:"isolated"`
+	ZipfSlope Threshold `json:"zipf_slope"`
+	// OscillationDetect is the score at or above which the Figure-9
+	// ripple counts as present, applied to both the observed and the
+	// predicted score; the check fails when the two disagree.
+	OscillationDetect float64 `json:"oscillation_detect"`
+}
+
+// DefaultThresholds returns the calibrated defaults.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		Edges:             Threshold{Warn: 0.02, Fail: 0.10},
+		OutKS:             Threshold{Warn: 0.05, Fail: 0.15},
+		InKS:              Threshold{Warn: 0.08, Fail: 0.20},
+		OutChi2:           Threshold{Warn: 50, Fail: 500},
+		ZeroOut:           Threshold{Warn: 0.05, Fail: 0.20},
+		ZeroIn:            Threshold{Warn: 0.08, Fail: 0.25},
+		Isolated:          Threshold{Warn: 0.10, Fail: 0.30},
+		ZipfSlope:         Threshold{Warn: 0.15, Fail: 0.40},
+		OscillationDetect: OscillationDetectThreshold,
+	}
+}
+
+// Params records the generation parameters a report validated against.
+// It deliberately excludes the output format and worker count: the
+// same graph serialized three ways must produce byte-identical
+// reports.
+type Params struct {
+	Model       string  `json:"model"`
+	Scale       int     `json:"scale,omitempty"`
+	EdgeFactor  int64   `json:"edge_factor,omitempty"`
+	Vertices    int64   `json:"vertices"`
+	Edges       int64   `json:"edges"`
+	Noise       float64 `json:"noise,omitempty"`
+	MasterSeed  uint64  `json:"master_seed,omitempty"`
+	Orientation string  `json:"orientation,omitempty"`
+}
+
+// ParamsFromConfig condenses a core configuration into report params.
+func ParamsFromConfig(cfg core.Config) Params {
+	return Params{
+		Model:       modelName(cfg),
+		Scale:       cfg.Scale,
+		EdgeFactor:  cfg.EdgeFactor,
+		Vertices:    cfg.NumVertices(),
+		Edges:       cfg.NumEdges(),
+		Noise:       cfg.NoiseParam,
+		MasterSeed:  cfg.MasterSeed,
+		Orientation: cfg.Orientation.String(),
+	}
+}
+
+func modelName(cfg core.Config) string {
+	if cfg.NoiseParam > 0 {
+		return "nskg"
+	}
+	return "skg"
+}
+
+// Observed summarizes the accumulated measurements. "Out" is the
+// scope axis as stored in the part files (under AVS-I that is the
+// original graph's in-degree).
+type Observed struct {
+	Edges          int64    `json:"edges"`
+	ActiveOut      int64    `json:"active_out_vertices"`
+	ActiveIn       int64    `json:"active_in_vertices"`
+	ZeroOut        int64    `json:"zero_out_vertices"`
+	ZeroIn         int64    `json:"zero_in_vertices"`
+	Isolated       *int64   `json:"isolated_vertices,omitempty"`
+	MaxOutDegree   int64    `json:"max_out_degree"`
+	MaxInDegree    int64    `json:"max_in_degree"`
+	OutOscillation float64  `json:"out_oscillation"`
+	OutZipfSlope   *float64 `json:"out_zipf_slope,omitempty"`
+}
+
+// Expected summarizes the model's closed-form predictions.
+type Expected struct {
+	Edges          float64  `json:"edges"`
+	ZeroOut        float64  `json:"zero_out_vertices"`
+	ZeroIn         float64  `json:"zero_in_vertices"`
+	Isolated       *float64 `json:"isolated_vertices,omitempty"`
+	OutOscillation float64  `json:"out_oscillation"`
+	OutZipfSlope   *float64 `json:"out_zipf_slope,omitempty"`
+}
+
+// Check is one observed-vs-expected comparison.
+type Check struct {
+	Name     string  `json:"name"`
+	Status   Status  `json:"status"`
+	Observed float64 `json:"observed"`
+	Expected float64 `json:"expected"`
+	Distance float64 `json:"distance"`
+	WarnAt   float64 `json:"warn_at"`
+	FailAt   float64 `json:"fail_at"`
+	Detail   string  `json:"detail,omitempty"`
+}
+
+// Report is the complete verdict of one validation run.
+type Report struct {
+	Schema               string   `json:"schema"`
+	Label                string   `json:"label"`
+	Params               Params   `json:"params"`
+	Observed             Observed `json:"observed"`
+	Expected             Expected `json:"expected"`
+	Checks               []Check  `json:"checks"`
+	OscillationDetected  bool     `json:"oscillation_detected"`
+	OscillationPredicted bool     `json:"oscillation_predicted"`
+	Verdict              Status   `json:"verdict"`
+}
+
+// Failed reports whether the overall verdict is fail.
+func (r *Report) Failed() bool { return r.Verdict == StatusFail }
+
+// JSON renders the report as indented, byte-stable JSON (floats are
+// pre-rounded by Evaluate, so identical inputs marshal identically).
+func (r *Report) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Summary renders a terse human-readable table of the checks.
+func (r *Report) Summary() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s  model=%s  verdict=%s\n", r.Label, r.Params.Model, r.Verdict)
+	for _, c := range r.Checks {
+		fmt.Fprintf(&buf, "  %-18s %-4s observed=%-14.4f expected=%-14.4f distance=%.4f\n",
+			c.Name, c.Status, c.Observed, c.Expected, c.Distance)
+		if c.Detail != "" {
+			fmt.Fprintf(&buf, "    %s\n", c.Detail)
+		}
+	}
+	return buf.String()
+}
+
+// round6 rounds to 6 decimals so the marshaled report is byte-stable
+// (the accumulators and fits sum floats in map-iteration order, which
+// perturbs last bits run to run).
+func round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }
+
+// optF wraps a float for JSON, omitting NaN (not representable).
+func optF(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	r := round6(v)
+	return &r
+}

@@ -1,0 +1,20 @@
+package validate
+
+// Telemetry counter names bumped by Evaluate (see docs/OBSERVABILITY.md).
+const (
+	// MetricRuns counts evaluated reports.
+	MetricRuns = "validate.runs_total"
+	// MetricChecks counts individual checks evaluated.
+	MetricChecks = "validate.checks_total"
+	// MetricChecksPass/Warn/Fail split MetricChecks by outcome.
+	MetricChecksPass = "validate.checks_pass_total"
+	MetricChecksWarn = "validate.checks_warn_total"
+	MetricChecksFail = "validate.checks_fail_total"
+	// MetricReportsFailed counts reports whose overall verdict is fail.
+	MetricReportsFailed = "validate.reports_failed_total"
+	// MetricEdges counts observed edges across validated graphs.
+	MetricEdges = "validate.edges_observed_total"
+	// MetricOscDetected counts reports where the Figure-9 oscillation
+	// was detected in the observed degree distribution.
+	MetricOscDetected = "validate.oscillation_detected_total"
+)

@@ -1,0 +1,127 @@
+package validate
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/skg"
+	"repro/internal/telemetry"
+)
+
+// smokeConfig is the deterministic acceptance configuration: scale 13,
+// master seed 42. Calibration runs showed every check passing for NSKG
+// noise 0.1 at this size, and the plain-SKG oscillation score (4.2
+// observed, 4.7 predicted) comfortably past the detection threshold.
+func smokeConfig(noise float64) core.Config {
+	cfg := core.DefaultConfig(13)
+	cfg.NoiseParam = noise
+	cfg.MasterSeed = 42
+	return cfg
+}
+
+func runEvaluate(t *testing.T, cfg core.Config, tel *telemetry.Registry, label string) *Report {
+	t.Helper()
+	m, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewAccumulator()
+	if _, err := core.Generate(cfg, CollectingSinks(core.DiscardSinks(0), acc)); err != nil {
+		t.Fatal(err)
+	}
+	return Evaluate(m, acc, DefaultThresholds(), tel, label)
+}
+
+// The ISSUE acceptance criterion: a seeded NSKG run passes every check,
+// and the identical run with noise disabled (plain SKG) triggers the
+// Figure-9 oscillation detector — and is *predicted* to, so the
+// oscillation agreement check passes on both.
+func TestAcceptanceNSKGPassesSKGOscillates(t *testing.T) {
+	tel := telemetry.NewRegistry()
+
+	nskg := runEvaluate(t, smokeConfig(0.1), tel, "nskg-accept")
+	if nskg.Verdict != StatusPass {
+		t.Errorf("NSKG verdict = %s, want pass\n%s", nskg.Verdict, nskg.Summary())
+	}
+	for _, c := range nskg.Checks {
+		if c.Status != StatusPass {
+			t.Errorf("NSKG check %s = %s (distance %v)", c.Name, c.Status, c.Distance)
+		}
+	}
+	if nskg.OscillationDetected {
+		t.Error("NSKG run detected oscillation; noise should damp the ripple")
+	}
+	if nskg.OscillationPredicted {
+		t.Error("NSKG model predicted oscillation; the damping is the point of the predictor")
+	}
+
+	skg := runEvaluate(t, smokeConfig(0), tel, "skg-accept")
+	if !skg.OscillationDetected {
+		t.Error("plain SKG run did not trip the oscillation detector")
+	}
+	if !skg.OscillationPredicted {
+		t.Error("plain SKG model did not predict its own oscillation")
+	}
+	if skg.Failed() {
+		t.Errorf("SKG verdict = %s; predicted oscillation must not fail the run\n%s", skg.Verdict, skg.Summary())
+	}
+
+	// Telemetry rode along: two runs, one oscillation detection, and
+	// every check accounted for.
+	if got := tel.Counter(MetricRuns).Value(); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricRuns, got)
+	}
+	if got := tel.Counter(MetricOscDetected).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricOscDetected, got)
+	}
+	wantChecks := int64(len(nskg.Checks) + len(skg.Checks))
+	if got := tel.Counter(MetricChecks).Value(); got != wantChecks {
+		t.Errorf("%s = %d, want %d", MetricChecks, got, wantChecks)
+	}
+	if got := tel.Counter(MetricReportsFailed).Value(); got != 0 {
+		t.Errorf("%s = %d, want 0", MetricReportsFailed, got)
+	}
+}
+
+// Re-evaluating the same generation must marshal byte-identically —
+// the golden-file and format-parity guarantees rest on this.
+func TestReportJSONDeterministic(t *testing.T) {
+	cfg := smokeConfig(0)
+	cfg.Scale = 10
+	a := runEvaluate(t, cfg, nil, "det")
+	b := runEvaluate(t, cfg, nil, "det")
+	ja, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("reports differ across identical runs:\n%s\n----\n%s", ja, jb)
+	}
+}
+
+// A divergent graph must fail: validating one graph against a
+// different seed's expectations crosses the fail thresholds.
+func TestEvaluateFlagsWrongParameters(t *testing.T) {
+	gen := smokeConfig(0)
+	gen.Scale = 10
+	acc := NewAccumulator()
+	if _, err := core.Generate(gen, CollectingSinks(core.DiscardSinks(0), acc)); err != nil {
+		t.Fatal(err)
+	}
+	wrong := gen
+	wrong.Seed = skg.Seed{A: 0.25, B: 0.25, C: 0.25, D: 0.25} // uniform: no skew at all
+	m, err := FromConfig(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Evaluate(m, acc, DefaultThresholds(), nil, "mismatch")
+	if !r.Failed() {
+		t.Errorf("skewed graph validated against uniform expectations got %s, want fail\n%s",
+			r.Verdict, r.Summary())
+	}
+}
