@@ -38,6 +38,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
+	"repro/internal/pressure"
 	"repro/internal/skg"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -67,6 +68,7 @@ func main() {
 		maxDials    = flag.Int("max-dials", 0, "worker: consecutive failed connection attempts before giving up (0 = 10)")
 		storeDir    = flag.String("store", "", "worker: artifact store directory (cached ranges are copied, not regenerated)")
 		storeMax    = flag.Int64("store-max-bytes", 0, "worker: store size budget in bytes (0 = unbounded)")
+		withPres    = flag.Bool("pressure", false, "worker: sample host pressure and advertise it in heartbeats so the master routes fresh ranges to cooler machines")
 		faults      = flag.String("faultpoints", "", "arm fault injection, e.g. 'dist.worker.scope=crash*1' (also via "+faultpoint.EnvVar+")")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address")
 		withPprof   = flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof/")
@@ -144,9 +146,18 @@ func main() {
 				fatal(err)
 			}
 		}
+		var ctrl *pressure.Controller
+		if *withPres {
+			// Watch the disk the part files land on; the os.* and
+			// pressure.* gauges ride the -metrics-addr registry.
+			ctrl = pressure.New(pressure.Config{DiskPath: *out, Telemetry: tel})
+			stopSampling := ctrl.Start()
+			defer stopSampling()
+		}
 		if err := dist.RunWorker(dist.WorkerConfig{
 			MasterAddr: *masterAddr, Threads: *threads, OutDir: *out,
 			MaxDials: *maxDials, Telemetry: tel, Store: st,
+			Pressure: ctrl,
 		}); err != nil {
 			fatal(err)
 		}

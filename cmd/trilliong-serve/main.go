@@ -37,6 +37,7 @@ import (
 	"time"
 
 	trilliong "repro"
+	"repro/internal/faultpoint"
 )
 
 // options collects the flag values so tests can exercise the plumbing
@@ -55,6 +56,9 @@ type options struct {
 	spoolDir       string
 	tenantSpecs    multiFlag
 	tenantDefaults string
+	pressure       bool
+	pressureEvery  time.Duration
+	memBudget      int64
 }
 
 // multiFlag collects a repeatable string flag.
@@ -78,6 +82,9 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.spoolDir, "spool-dir", "", "staging directory for in-flight artifact copies (default: inside the store)")
 	fs.Var(&o.tenantSpecs, "tenant", "per-tenant scheduling limits, repeatable: name[,weight=N,rate=F,burst=F,max-active=N,max-queued=N|none,ttl=D]")
 	fs.StringVar(&o.tenantDefaults, "tenant-defaults", "", "limits for tenants without a -tenant entry (same key=value list)")
+	fs.BoolVar(&o.pressure, "pressure", false, "sample host pressure and degrade under load: shrink streams, pause background jobs, flip /readyz")
+	fs.DurationVar(&o.pressureEvery, "pressure-interval", 0, "with -pressure: sampling interval (0 = 1s)")
+	fs.Int64Var(&o.memBudget, "mem-budget-bytes", 0, "with -pressure: memory budget for the pressure signal (0 = detect from /proc/meminfo, <0 = disable)")
 	return o
 }
 
@@ -90,6 +97,12 @@ func (o *options) validate() error {
 	}
 	if o.drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive")
+	}
+	if o.pressureEvery < 0 {
+		return fmt.Errorf("-pressure-interval must not be negative")
+	}
+	if (o.pressureEvery != 0 || o.memBudget != 0) && !o.pressure {
+		return fmt.Errorf("-pressure-interval and -mem-budget-bytes require -pressure")
 	}
 	if _, err := o.tenants(); err != nil {
 		return err
@@ -138,6 +151,14 @@ func (o *options) newService() (*trilliong.Server, error) {
 		EnablePprof:      o.pprof,
 		Tenants:          tenants,
 		TenantDefaults:   defaults,
+		EnablePressure:   o.pressure,
+		PressureConfig: trilliong.PressureConfig{
+			Interval:       o.pressureEvery,
+			MemBudgetBytes: o.memBudget,
+			// Watch the disk that fills when streams are cached; without
+			// a store there is nothing we write to locally.
+			DiskPath: o.storeDir,
+		},
 	})
 	if o.storeDir != "" {
 		st, err := trilliong.OpenStore(o.storeDir, trilliong.StoreOptions{
@@ -160,9 +181,18 @@ func main() {
 	if err := o.validate(); err != nil {
 		fatal(err)
 	}
+	// Same env-armed injection as trilliong-dist; in this binary its
+	// practical use is synthetic pressure (pressure.signals) drills.
+	if err := faultpoint.ArmFromEnv(); err != nil {
+		fatal(err)
+	}
 	svc, err := o.newService()
 	if err != nil {
 		fatal(err)
+	}
+	if p := svc.Pressure(); p != nil {
+		stopSampling := p.Start()
+		defer stopSampling()
 	}
 	httpSrv := &http.Server{Addr: o.addr, Handler: svc.Handler()}
 

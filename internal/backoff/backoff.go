@@ -7,6 +7,7 @@
 package backoff
 
 import (
+	"math"
 	"math/rand"
 	"time"
 )
@@ -60,14 +61,12 @@ func (p Policy) Delay(attempt int) time.Duration {
 	if attempt < 0 {
 		attempt = 0
 	}
-	d := float64(p.Base)
-	for i := 0; i < attempt; i++ {
-		d *= p.Multiplier
-		if d >= float64(p.Max) {
-			d = float64(p.Max)
-			break
-		}
-	}
+	// Closed form rather than a multiply loop: Delay(math.MaxInt) must
+	// return instantly, and a Multiplier ≤ 1 (a flat or shrinking
+	// schedule) must not spin attempt times looking for a cap it will
+	// never reach. Pow overflows to +Inf for huge growing schedules,
+	// which the Max clamp absorbs.
+	d := float64(p.Base) * math.Pow(p.Multiplier, float64(attempt))
 	if d > float64(p.Max) {
 		d = float64(p.Max)
 	}

@@ -1,6 +1,7 @@
 package backoff
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -83,6 +84,42 @@ func TestNextDelayMatchesDelaySchedule(t *testing.T) {
 	var zero Policy
 	if got := zero.NextDelay(2); got != 400*time.Millisecond {
 		t.Fatalf("zero-value NextDelay(2) = %v, want 400ms", got)
+	}
+}
+
+// TestExtremeAttempts: the schedule is O(1) in the attempt number, so
+// pathological retry counters — an int that kept incrementing for
+// days, or a multiplier that never reaches the cap — return instantly
+// instead of spinning.
+func TestExtremeAttempts(t *testing.T) {
+	huge := []int{1 << 20, 1 << 40, math.MaxInt}
+	grow := Policy{Base: 100 * time.Millisecond, Max: time.Second}
+	for _, n := range huge {
+		if got := grow.NextDelay(n); got != time.Second {
+			t.Fatalf("NextDelay(%d) = %v, want Max", n, got)
+		}
+		if got := grow.Delay(n); got != time.Second {
+			t.Fatalf("Delay(%d) = %v, want Max", n, got)
+		}
+	}
+	// A flat schedule (Multiplier 1) never reaches Max; it must still
+	// answer immediately with Base.
+	flat := Policy{Base: 250 * time.Millisecond, Max: time.Second, Multiplier: 1}
+	for _, n := range huge {
+		if got := flat.NextDelay(n); got != 250*time.Millisecond {
+			t.Fatalf("flat NextDelay(%d) = %v, want Base", n, got)
+		}
+	}
+	// A shrinking schedule decays toward zero but must never go
+	// negative or hang.
+	shrink := Policy{Base: time.Second, Max: time.Second, Multiplier: 0.5}
+	if got := shrink.NextDelay(4); got != 62500*time.Microsecond {
+		t.Fatalf("shrink NextDelay(4) = %v, want 62.5ms", got)
+	}
+	for _, n := range huge {
+		if got := shrink.NextDelay(n); got < 0 || got > time.Second {
+			t.Fatalf("shrink NextDelay(%d) = %v outside [0, Max]", n, got)
+		}
 	}
 }
 

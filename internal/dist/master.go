@@ -12,6 +12,7 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
 	"repro/internal/partition"
+	"repro/internal/pressure"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
@@ -148,6 +149,13 @@ type Master struct {
 	completed []bool
 	remaining int
 	active    int // currently connected workers
+	// hotActive counts connected workers whose last protocol message
+	// advertised critical host pressure. While at least one cooler
+	// worker is connected (active > hotActive), hot workers are offered
+	// only requeued (Background) ranges — fresh work routes to hosts
+	// with headroom. When every worker is hot, leasing proceeds as
+	// normal: a uniformly-starved fleet must still finish the run.
+	hotActive int
 	fatal     error
 	finished  bool
 	sum       Summary
@@ -192,6 +200,11 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		return float64(m.queue.Len())
+	})
+	m.tel.GaugeFunc(MetricWorkersHot, func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.hotActive)
 	})
 	return m, nil
 }
@@ -351,9 +364,34 @@ func (m *Master) handleWorker(conn net.Conn) {
 		return
 	}
 
+	// lvl is this connection's last-advertised pressure level. Only this
+	// handler goroutine touches it; m.hotActive is its mu-guarded
+	// aggregate. An idle worker waiting for a lease sends nothing, so
+	// its level is as fresh as its last Hello/Heartbeat/Done/Fail —
+	// good enough, since a worker heats up by working, not by waiting.
+	lvl := hi.Level
+	observe := func(newLvl pressure.Level) {
+		if newLvl == lvl {
+			return
+		}
+		m.mu.Lock()
+		if lvl >= pressure.Critical {
+			m.hotActive--
+		}
+		if newLvl >= pressure.Critical {
+			m.hotActive++
+		}
+		lvl = newLvl
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+
 	m.mu.Lock()
 	m.registered++
 	m.active++
+	if lvl >= pressure.Critical {
+		m.hotActive++
+	}
 	if !m.gateClosed {
 		m.gateThreads += hi.Threads
 	}
@@ -365,6 +403,9 @@ func (m *Master) handleWorker(conn net.Conn) {
 		m.tel.Gauge(MetricWorkersActive).Add(-1)
 		m.mu.Lock()
 		m.active--
+		if lvl >= pressure.Critical {
+			m.hotActive--
+		}
 		m.cond.Broadcast()
 		m.mu.Unlock()
 	}()
@@ -375,7 +416,12 @@ func (m *Master) handleWorker(conn net.Conn) {
 	}
 
 	for {
-		// Take the next lease (or learn the run is over).
+		// Take the next lease (or learn the run is over). A critically
+		// pressured worker is withheld fresh (Batch) ranges while any
+		// cooler worker is connected — it waits for requeued
+		// (Background) work, which it may still drain.
+		withhold := false
+		withheldNoted := false
 		m.mu.Lock()
 		for {
 			if m.fatal != nil {
@@ -394,10 +440,30 @@ func (m *Master) handleWorker(conn net.Conn) {
 				m.mu.Unlock()
 				return
 			}
-			if m.planned && m.queue.Len() > 0 {
-				break
+			withhold = lvl >= pressure.Critical && m.active > m.hotActive
+			if m.planned {
+				avail := m.queue.Len()
+				if withhold {
+					avail = m.queue.LenClass(sched.Background)
+					if avail == 0 && m.queue.Len() > 0 && !withheldNoted {
+						m.tel.Counter(MetricLeasesWithheld).Inc()
+						withheldNoted = true
+					}
+				}
+				if avail > 0 {
+					break
+				}
 			}
 			m.cond.Wait()
+		}
+		var hotVeto func(sched.Item) sched.Decision
+		if withhold {
+			hotVeto = func(it sched.Item) sched.Decision {
+				if it.Class != sched.Background {
+					return sched.SkipClass
+				}
+				return sched.Take
+			}
 		}
 		n := hi.Threads
 		if m.cfg.MaxLeaseRanges > 0 && n > m.cfg.MaxLeaseRanges {
@@ -405,7 +471,7 @@ func (m *Master) handleWorker(conn net.Conn) {
 		}
 		ids := make([]int, 0, min(n, m.queue.Len()))
 		for len(ids) < n {
-			it, ok := m.queue.Pop(nil)
+			it, ok := m.queue.Pop(hotVeto)
 			if !ok {
 				break
 			}
@@ -455,6 +521,7 @@ func (m *Master) handleWorker(conn net.Conn) {
 			faultpoint.Fire("dist.master.result")
 			switch r := in.(type) {
 			case Heartbeat:
+				observe(r.Level)
 				// A beating worker can outlive the run (its lease was
 				// requeued and finished elsewhere, or the run went
 				// fatal); don't let it hold the master open.
@@ -466,6 +533,7 @@ func (m *Master) handleWorker(conn net.Conn) {
 				}
 				continue
 			case Done:
+				observe(r.Level)
 				m.tel.Counter(MetricMasterEdges).Add(r.Edges)
 				m.tel.Counter(MetricPartsSkipped).Add(int64(r.Skipped))
 				m.tel.Counter(MetricPartsFromCache).Add(int64(r.FromCache))
@@ -495,6 +563,7 @@ func (m *Master) handleWorker(conn net.Conn) {
 				m.mu.Unlock()
 				break result
 			case Fail:
+				observe(r.Level)
 				// The worker survives its own failure: requeue the
 				// lease (another worker, or this one, retries) and
 				// keep serving the connection.

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gformat"
 	"repro/internal/partition"
+	"repro/internal/pressure"
 )
 
 // Hello registers a worker and announces its thread count. A worker
@@ -41,6 +42,11 @@ import (
 // as a fresh worker.
 type Hello struct {
 	Threads int
+	// Level is the worker's host-pressure level at registration (see
+	// internal/pressure); workers without a controller report OK (0),
+	// which is also what masters predating the field decode. Every
+	// subsequent Heartbeat/Done/Fail refreshes it.
+	Level pressure.Level
 }
 
 // Job leases a bundle of ranges to a worker.
@@ -65,6 +71,9 @@ type Job struct {
 type Heartbeat struct {
 	// ScopesDone counts scopes generated under the current lease.
 	ScopesDone int64
+	// Level is the worker's current host-pressure level, so the master
+	// learns about a worker heating up (or cooling down) mid-lease.
+	Level pressure.Level
 }
 
 // Done reports a completed lease with its aggregated statistics.
@@ -81,12 +90,20 @@ type Done struct {
 	// FromCache counts leased parts satisfied from the worker's
 	// artifact store (checksum-verified) instead of generated.
 	FromCache int
+	// Level is the worker's host-pressure level after finishing the
+	// lease — the freshest signal the master has when deciding whether
+	// this worker should receive another fresh range.
+	Level pressure.Level
 }
 
 // Fail reports a worker-side error for the current lease; the master
 // requeues the lease and keeps the connection.
 type Fail struct {
 	Error string
+	// Level is the worker's host-pressure level at failure time; a
+	// lease that failed *because* the host is starved should not bounce
+	// straight back to the same starved host.
+	Level pressure.Level
 }
 
 // Bye releases the worker: every part is accounted for.

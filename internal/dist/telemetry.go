@@ -16,9 +16,14 @@ const (
 	MetricPartsSkipped   = "dist.master.parts_skipped"
 	MetricPartsFromCache = "dist.master.parts_from_cache"
 	MetricMasterEdges    = "dist.master.edges_total"
-	// Fleet gauges/counters.
+	// Fleet gauges/counters. workers_hot counts connected workers whose
+	// last message advertised critical host pressure; leases_withheld
+	// counts lease rounds in which a hot worker was denied fresh ranges
+	// while cooler workers were available.
 	MetricWorkersActive     = "dist.master.workers_active"
 	MetricWorkersRegistered = "dist.master.workers_registered"
+	MetricWorkersHot        = "dist.master.workers_hot"
+	MetricLeasesWithheld    = "dist.master.leases_withheld_total"
 	// Master-side latency/throughput distributions.
 	MetricHeartbeatGap      = "dist.master.heartbeat_gap_seconds"
 	MetricWorkerEdgesPerSec = "dist.master.worker_edges_per_sec"

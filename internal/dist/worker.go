@@ -15,6 +15,7 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
 	"repro/internal/partition"
+	"repro/internal/pressure"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 )
@@ -46,6 +47,12 @@ type WorkerConfig struct {
 	// waiting for a lease legitimately lasts until other workers free
 	// up work. 0 leaves the writes unbounded.
 	HandshakeTimeout time.Duration
+	// Pressure, when set, stamps this worker's current host-pressure
+	// level onto every protocol message (Hello, Heartbeat, Done, Fail),
+	// letting the master route fresh ranges away from a straining host
+	// while cooler workers are available. The caller owns the
+	// controller's sampling loop. nil always advertises OK.
+	Pressure *pressure.Controller
 	// Store, when set, is consulted before generating each leased
 	// range (a checksum-verified hit materializes the part without
 	// regeneration) and receives every part this worker generates, so
@@ -63,6 +70,13 @@ func (c WorkerConfig) maxDials() int {
 		return c.MaxDials
 	}
 	return 10
+}
+
+func (c WorkerConfig) level() pressure.Level {
+	if c.Pressure == nil {
+		return pressure.OK
+	}
+	return c.Pressure.Level()
 }
 
 func (c WorkerConfig) backoff() backoff.Policy {
@@ -147,7 +161,7 @@ func runSession(conn net.Conn, cfg WorkerConfig) (done, leased bool, err error) 
 	if err := faultpoint.Fire("dist.worker.hello"); err != nil {
 		return false, false, sessionFault(conn, err)
 	}
-	if err := send(Hello{Threads: cfg.Threads}); err != nil {
+	if err := send(Hello{Threads: cfg.Threads, Level: cfg.level()}); err != nil {
 		return false, false, fmt.Errorf("dist: hello: %w", err)
 	}
 	for {
@@ -170,7 +184,7 @@ func runSession(conn net.Conn, cfg WorkerConfig) (done, leased bool, err error) 
 					return false, leased, sessionFault(conn, err)
 				}
 				cfg.Telemetry.Counter(MetricWorkerFailures).Inc()
-				if serr := send(Fail{Error: err.Error()}); serr != nil {
+				if serr := send(Fail{Error: err.Error(), Level: cfg.level()}); serr != nil {
 					return false, leased, fmt.Errorf("dist: sending failure: %w", serr)
 				}
 				continue // the master requeues; await the next lease
@@ -234,7 +248,7 @@ func executeLease(job Job, cfg WorkerConfig, conn net.Conn, send func(interface{
 						continue // a failed beat is just a missed beat
 					}
 					beatStart := time.Now()
-					if send(Heartbeat{ScopesDone: scopes.Load()}) != nil {
+					if send(Heartbeat{ScopesDone: scopes.Load(), Level: cfg.level()}) != nil {
 						return // the lease loop will notice the dead conn
 					}
 					// Round trip through the shared encoder onto the
@@ -276,6 +290,7 @@ func executeLease(job Job, cfg WorkerConfig, conn net.Conn, send func(interface{
 		GenDuration:     st.GenDuration,
 		Skipped:         skipped,
 		FromCache:       fromCache,
+		Level:           cfg.level(),
 	}, nil
 }
 

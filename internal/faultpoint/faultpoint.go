@@ -10,10 +10,20 @@
 //	stall:dur      sleep for the duration, then return nil
 //	drop           return ErrDrop; the caller closes its connection
 //	crash[:code]   terminate the process via Exit (default code 7)
+//	pressure:val   carry an opaque value string for FireValue callers
 //
 // A spec may carry a firing budget: "drop*2" fires twice and then
 // disarms, so a chaos test can kill exactly one worker. Without a
 // budget the point fires every time until Reset or Disarm.
+//
+// "pressure" points are value injections rather than faults: they are
+// read through FireValue (which consumes the firing budget and returns
+// the value string) and are invisible to Fire, so a synthetic-pressure
+// spec armed against a sampler cannot accidentally fail an unrelated
+// call site sharing the name. internal/pressure interprets the value
+// as semicolon-separated signal overrides, e.g.
+//
+//	TRILLIONG_FAULTPOINTS="pressure.signals=pressure:level=critical*20"
 //
 // Spec lists are comma-separated "name=spec" pairs:
 //
@@ -50,6 +60,7 @@ const (
 	kindStall
 	kindDrop
 	kindCrash
+	kindPressure
 )
 
 type point struct {
@@ -167,6 +178,12 @@ func Fire(name string) error {
 		mu.Unlock()
 		return nil
 	}
+	// Value injections are read through FireValue only; Fire passes
+	// them by without consuming budget.
+	if p.kind == kindPressure {
+		mu.Unlock()
+		return nil
+	}
 	if p.remaining == 0 {
 		mu.Unlock()
 		return nil
@@ -192,6 +209,28 @@ func Fire(name string) error {
 		Exit(code)
 	}
 	return nil
+}
+
+// FireValue evaluates the named value-injection ("pressure") point.
+// Armed, it consumes one unit of the firing budget and returns the
+// spec's value string; disarmed, exhausted, or armed with a non-value
+// kind it returns ("", false). The disarmed fast path is one atomic
+// load, so samplers may call it every tick.
+func FireValue(name string) (string, bool) {
+	if armed.Load() == 0 {
+		return "", false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	p := points[name]
+	if p == nil || p.kind != kindPressure || p.remaining == 0 {
+		return "", false
+	}
+	if p.remaining > 0 {
+		p.remaining--
+	}
+	p.hits++
+	return p.msg, true
 }
 
 func parseSpec(spec string) (*point, error) {
@@ -238,8 +277,14 @@ func parseSpec(spec string) (*point, error) {
 			}
 			p.code = c
 		}
+	case "pressure":
+		if !hasArg || arg == "" {
+			return nil, fmt.Errorf("pressure needs a value, e.g. pressure:level=critical")
+		}
+		p.kind = kindPressure
+		p.msg = arg
 	default:
-		return nil, fmt.Errorf("unknown fault kind %q (want fail, stall, drop or crash)", verb)
+		return nil, fmt.Errorf("unknown fault kind %q (want fail, stall, drop, crash or pressure)", verb)
 	}
 	return p, nil
 }

@@ -117,7 +117,7 @@ func TestArmSpecsAndEnv(t *testing.T) {
 func TestBadSpecs(t *testing.T) {
 	Reset()
 	t.Cleanup(Reset)
-	for _, spec := range []string{"", "explode", "stall", "stall:xyz", "drop:now", "crash:x", "fail*0"} {
+	for _, spec := range []string{"", "explode", "stall", "stall:xyz", "drop:now", "crash:x", "fail*0", "pressure", "pressure:"} {
 		if err := Arm("p", spec); err == nil {
 			t.Fatalf("spec %q accepted", spec)
 		}
@@ -127,5 +127,70 @@ func TestBadSpecs(t *testing.T) {
 	}
 	if err := Arm("", "drop"); err == nil {
 		t.Fatal("empty name accepted")
+	}
+}
+
+// TestPressureValue: a pressure point is read through FireValue,
+// consumes its firing budget there, and is invisible to Fire.
+func TestPressureValue(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	// The firing budget suffixes the whole spec; multi-key values keep
+	// their semicolons.
+	if err := Arm("multi", "pressure:level=critical;load=9*2"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := FireValue("multi"); !ok || v != "level=critical;load=9" {
+		t.Fatalf("multi-key FireValue = %q, %v", v, ok)
+	}
+	if err := Arm("p", "pressure:level=critical*2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fire neither injects nor consumes.
+	for i := 0; i < 5; i++ {
+		if err := Fire("p"); err != nil {
+			t.Fatalf("Fire on pressure point returned %v", err)
+		}
+	}
+	if got := Hits("p"); got != 0 {
+		t.Fatalf("Fire consumed %d hits from a pressure point", got)
+	}
+
+	v, ok := FireValue("p")
+	if !ok || v != "level=critical" {
+		t.Fatalf("FireValue = %q, %v", v, ok)
+	}
+	if v, ok = FireValue("p"); !ok || v != "level=critical" {
+		t.Fatalf("second FireValue = %q, %v", v, ok)
+	}
+	if _, ok = FireValue("p"); ok {
+		t.Fatal("budget-exhausted pressure point still firing")
+	}
+	if got := Hits("p"); got != 2 {
+		t.Fatalf("hits = %d, want 2", got)
+	}
+}
+
+// TestFireValueOnNonPressureKinds: FireValue on fail/stall/drop points
+// returns false without consuming budget, and on unknown or disarmed
+// names it is a cheap no-op.
+func TestFireValueOnNonPressureKinds(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if _, ok := FireValue("nothing"); ok {
+		t.Fatal("disarmed FireValue fired")
+	}
+	if err := Arm("f", "fail*1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := FireValue("f"); ok {
+		t.Fatal("FireValue fired on a fail point")
+	}
+	if got := Hits("f"); got != 0 {
+		t.Fatalf("FireValue consumed %d hits from a fail point", got)
+	}
+	if err := Fire("f"); err == nil {
+		t.Fatal("fail point lost its budget to FireValue")
 	}
 }

@@ -22,6 +22,54 @@ func TestAddAndPeak(t *testing.T) {
 	}
 }
 
+// TestConcurrentAddPeakReset hammers every method from concurrent
+// goroutines — chargers, readers, and a resetter — so the race
+// detector can vet the CAS peak loop against Reset's two independent
+// stores. The only invariants that survive interleaved resets are
+// non-tearing ones: readers never observe torn values, Peak never goes
+// negative, and a final quiescent Reset leaves both counters zero.
+func TestConcurrentAddPeakReset(t *testing.T) {
+	var a Acct
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				a.Add(int64(j%7) * VertexBytes)
+				a.Add(-int64(j%7) * VertexBytes)
+			}
+		}()
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			if p := a.Peak(); p < 0 {
+				t.Error("negative peak")
+				return
+			}
+			a.Current()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			a.Reset()
+		}
+	}()
+	wg.Wait()
+
+	a.Reset()
+	if a.Current() != 0 || a.Peak() != 0 {
+		t.Fatalf("quiescent reset left current=%d peak=%d", a.Current(), a.Peak())
+	}
+	a.Add(EdgeBytes)
+	if a.Peak() != EdgeBytes {
+		t.Fatalf("peak %d after post-reset charge, want %d", a.Peak(), EdgeBytes)
+	}
+}
+
 func TestConcurrentPeakIsAtLeastMaxSingle(t *testing.T) {
 	var a Acct
 	var wg sync.WaitGroup

@@ -1,0 +1,367 @@
+package pressure
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultpoint"
+	"repro/internal/memacct"
+	"repro/internal/telemetry"
+)
+
+// quiet returns a controller whose every real signal is disabled, so
+// only injected samples can move it. RaiseAfter/LowerAfter default
+// (1 / 3) unless overridden after New.
+func quiet(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	if cfg.MemBudgetBytes == 0 {
+		cfg.MemBudgetBytes = -1 // no auto budget from /proc/meminfo
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	// Push real-signal thresholds far out of reach so host noise on the
+	// test machine cannot flip levels under us.
+	if cfg.Thresholds == (Thresholds{}) {
+		cfg.Thresholds = Thresholds{
+			LoadElevated: 1e6, LoadCritical: 2e6,
+			GoroutineElevated: 1 << 30, GoroutineCritical: 1<<30 + 1,
+			FDElevated: 1 << 30, FDCritical: 1<<30 + 1,
+		}
+	}
+	return New(cfg)
+}
+
+// TestLevelString covers the wire names both ways.
+func TestLevelString(t *testing.T) {
+	for _, tc := range []struct {
+		l Level
+		s string
+	}{{OK, "ok"}, {Elevated, "elevated"}, {Critical, "critical"}} {
+		if tc.l.String() != tc.s {
+			t.Fatalf("%d.String() = %q", tc.l, tc.l.String())
+		}
+		if got, ok := ParseLevel(tc.s); !ok || got != tc.l {
+			t.Fatalf("ParseLevel(%q) = %v, %v", tc.s, got, ok)
+		}
+	}
+	if got, ok := ParseLevel(""); !ok || got != OK {
+		t.Fatalf("ParseLevel(\"\") = %v, %v", got, ok)
+	}
+	if _, ok := ParseLevel("meltdown"); ok {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+	if Level(99).String() != "invalid" {
+		t.Fatal("out-of-range level has a name")
+	}
+}
+
+// TestRealSample: sampling the actual host populates the gauges with
+// plausible values and stays OK under the far-out test thresholds.
+func TestRealSample(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := quiet(t, Config{Telemetry: reg})
+	sig, lvl := c.Sample()
+	if lvl != OK {
+		t.Fatalf("level = %v on an idle sample", lvl)
+	}
+	if sig.Goroutines < 1 {
+		t.Fatalf("goroutines = %d", sig.Goroutines)
+	}
+	if reg.Gauge(MetricGoroutines).Value() < 1 {
+		t.Fatal("os.goroutines gauge not published")
+	}
+	if got := c.LastSignals(); got.Goroutines != sig.Goroutines {
+		t.Fatalf("LastSignals = %+v, want %+v", got, sig)
+	}
+	if reg.CounterValue(MetricSamples) != 1 {
+		t.Fatalf("samples_total = %d", reg.CounterValue(MetricSamples))
+	}
+}
+
+// TestDefaultsAndBudget: zero-config thresholds fill in, and the
+// automatic memory budget comes from the host when readable.
+func TestDefaultsAndBudget(t *testing.T) {
+	th := Thresholds{}.withDefaults()
+	if th.LoadElevated != 2 || th.LoadCritical != 4 || th.MemElevated != 0.85 ||
+		th.MemCritical != 0.95 || th.ExitRatio != 0.8 {
+		t.Fatalf("defaults = %+v", th)
+	}
+	if th.FDElevated <= 0 || th.FDCritical <= th.FDElevated {
+		t.Fatalf("fd defaults = %d/%d", th.FDElevated, th.FDCritical)
+	}
+	c := New(Config{Telemetry: telemetry.NewRegistry()})
+	if host := hostMemoryBytes(); host > 0 && c.cfg.MemBudgetBytes != host {
+		t.Fatalf("auto budget = %d, want host total %d", c.cfg.MemBudgetBytes, host)
+	}
+}
+
+// TestClassifyLadder: each signal alone can lift the level, and the
+// worst signal wins.
+func TestClassifyLadder(t *testing.T) {
+	c := New(Config{MemBudgetBytes: 1 << 30, Telemetry: telemetry.NewRegistry()})
+	cases := []struct {
+		name string
+		sig  Signals
+		want Level
+	}{
+		{"idle", Signals{LoadPerCPU: 0.5}, OK},
+		{"load-elev", Signals{LoadPerCPU: 2.5}, Elevated},
+		{"load-crit", Signals{LoadPerCPU: 9}, Critical},
+		{"mem-elev", Signals{RSSBytes: 900 << 20, MemBudgetBytes: 1 << 30}, Elevated},
+		{"mem-crit", Signals{RSSBytes: 1000 << 20, MemBudgetBytes: 1 << 30}, Critical},
+		{"tracked-beats-rss", Signals{RSSBytes: 1, TrackedBytes: 1000 << 20, MemBudgetBytes: 1 << 30}, Critical},
+		{"disk-elev", Signals{DiskUsedFrac: 0.9}, Elevated},
+		{"disk-crit", Signals{DiskUsedFrac: 0.97}, Critical},
+		{"goroutines", Signals{Goroutines: 60_000}, Elevated},
+		{"worst-wins", Signals{LoadPerCPU: 2.5, DiskUsedFrac: 0.99}, Critical},
+	}
+	for _, tc := range cases {
+		if got := c.classify(tc.sig, OK); got != tc.want {
+			t.Errorf("%s: classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestHysteresis: once Critical, a value between exit and entry holds
+// Critical; only dropping below entry·ExitRatio releases it.
+func TestHysteresis(t *testing.T) {
+	c := New(Config{MemBudgetBytes: -1, Telemetry: telemetry.NewRegistry()})
+	// Entry 4.0, exit 3.2 for load Critical.
+	if got := c.classify(Signals{LoadPerCPU: 3.5}, OK); got != Elevated {
+		t.Fatalf("fresh 3.5 load = %v, want Elevated", got)
+	}
+	if got := c.classify(Signals{LoadPerCPU: 3.5}, Critical); got != Critical {
+		t.Fatalf("3.5 load while Critical = %v, want held Critical", got)
+	}
+	if got := c.classify(Signals{LoadPerCPU: 3.0}, Critical); got != Elevated {
+		t.Fatalf("3.0 load while Critical = %v, want Elevated", got)
+	}
+	// Entry 2.0, exit 1.6 for Elevated.
+	if got := c.classify(Signals{LoadPerCPU: 1.8}, Elevated); got != Elevated {
+		t.Fatalf("1.8 load while Elevated = %v, want held", got)
+	}
+	if got := c.classify(Signals{LoadPerCPU: 1.5}, Elevated); got != OK {
+		t.Fatalf("1.5 load while Elevated = %v, want OK", got)
+	}
+}
+
+// TestDebounce: escalation needs RaiseAfter consecutive votes,
+// de-escalation LowerAfter, and a changed vote resets the streak.
+func TestDebounce(t *testing.T) {
+	c := quiet(t, Config{})
+	c.cfg.RaiseAfter, c.cfg.LowerAfter = 2, 3
+
+	if lvl := c.step(Critical); lvl != OK {
+		t.Fatalf("one vote escalated: %v", lvl)
+	}
+	if lvl := c.step(Critical); lvl != Critical {
+		t.Fatalf("two votes did not escalate: %v", lvl)
+	}
+	// Calm samples: two are not enough...
+	c.step(OK)
+	if lvl := c.step(OK); lvl != Critical {
+		t.Fatalf("level dropped after 2/3 calm votes: %v", lvl)
+	}
+	// ...an interleaved re-escalation vote resets the calm streak...
+	c.step(Critical)
+	c.step(OK)
+	if lvl := c.step(OK); lvl != Critical {
+		t.Fatalf("calm streak survived an interruption: %v", lvl)
+	}
+	// ...and three in a row release it.
+	if lvl := c.step(OK); lvl != OK {
+		t.Fatalf("3/3 calm votes did not release: %v", lvl)
+	}
+}
+
+// TestOnChangeAndTransitions: subscribers see each transition exactly
+// once, in order, and the transition counter matches.
+func TestOnChangeAndTransitions(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := quiet(t, Config{Telemetry: reg})
+	c.cfg.LowerAfter = 1
+	var mu sync.Mutex
+	var seen []Level
+	c.OnChange(func(l Level) {
+		mu.Lock()
+		seen = append(seen, l)
+		mu.Unlock()
+	})
+	c.step(Critical)
+	c.step(Elevated)
+	c.step(Elevated) // no-op: already there
+	c.step(OK)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []Level{Critical, Elevated, OK}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions seen = %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions seen = %v, want %v", seen, want)
+		}
+	}
+	if n := reg.CounterValue(MetricTransitions); n != 3 {
+		t.Fatalf("transitions_total = %d", n)
+	}
+}
+
+// TestInjectedCycle: an armed pressure faultpoint drives ok→critical→ok
+// deterministically; the budget runs out and real (benign) signals
+// take back over.
+func TestInjectedCycle(t *testing.T) {
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	reg := telemetry.NewRegistry()
+	c := quiet(t, Config{Telemetry: reg})
+	c.cfg.LowerAfter = 2
+
+	if err := faultpoint.Arm(PointSignals, "pressure:level=critical*3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, lvl := c.Sample(); lvl != Critical {
+			t.Fatalf("injected sample %d: level = %v", i, lvl)
+		}
+	}
+	if n := reg.CounterValue(MetricInjected); n != 3 {
+		t.Fatalf("injected_samples_total = %d", n)
+	}
+	// Budget exhausted: the next real samples are benign and the
+	// debounce releases after LowerAfter of them.
+	if _, lvl := c.Sample(); lvl != Critical {
+		t.Fatal("released after a single calm sample")
+	}
+	if _, lvl := c.Sample(); lvl != OK {
+		t.Fatal("did not recover once injection drained")
+	}
+}
+
+// TestSyntheticGrammar: every injection key parses, junk is ignored.
+func TestSyntheticGrammar(t *testing.T) {
+	c := quiet(t, Config{})
+	sig := c.syntheticSignals("load=7.5; mem=0.97 ;disk=0.5;goroutines=123;fds=45;junk;bad=x")
+	if sig.LoadPerCPU != 7.5 || sig.DiskUsedFrac != 0.5 || sig.Goroutines != 123 || sig.FDs != 45 {
+		t.Fatalf("parsed = %+v", sig)
+	}
+	if f := sig.MemUsedFrac(); f < 0.96 || f > 0.98 {
+		t.Fatalf("mem frac = %v", f)
+	}
+	// level= synthesizes a decisive load for each level.
+	th := c.th
+	if l := c.syntheticSignals("level=critical").LoadPerCPU; l < th.LoadCritical {
+		t.Fatalf("critical synthetic load %v below entry %v", l, th.LoadCritical)
+	}
+	el := c.syntheticSignals("level=elevated").LoadPerCPU
+	if el < th.LoadElevated || el >= th.LoadCritical*th.ExitRatio {
+		t.Fatalf("elevated synthetic load %v outside [%v, %v)", el, th.LoadElevated, th.LoadCritical*th.ExitRatio)
+	}
+	if l := c.syntheticSignals("level=ok").LoadPerCPU; l != 0 {
+		t.Fatalf("ok synthetic load = %v", l)
+	}
+}
+
+// TestStartStop: the background loop samples on its own and stop is
+// idempotent and race-free with a second Start.
+func TestStartStop(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := quiet(t, Config{Interval: time.Millisecond, Telemetry: reg})
+	stop := c.Start()
+	stop2 := c.Start() // same loop
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.CounterValue(MetricSamples) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never sampled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop()
+	stop2()
+	n := reg.CounterValue(MetricSamples)
+	time.Sleep(5 * time.Millisecond)
+	if reg.CounterValue(MetricSamples) != n {
+		t.Fatal("loop kept sampling after stop")
+	}
+	// A fresh Start works after a stop.
+	stop3 := c.Start()
+	defer stop3()
+	deadline = time.Now().Add(2 * time.Second)
+	for reg.CounterValue(MetricSamples) == n {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted loop never sampled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConcurrentSampleAndReaders: Sample, Level, LastSignals and
+// OnChange registration race cleanly (meaningful under -race).
+func TestConcurrentSampleAndReaders(t *testing.T) {
+	c := quiet(t, Config{Acct: new(memacct.Acct)})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.Sample()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = c.Level()
+			_ = c.LastSignals()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			c.OnChange(func(Level) {})
+		}
+	}()
+	wg.Wait()
+}
+
+// TestDisabledSignals: negative thresholds and zero values never
+// escalate, so a partially-blind host (no /proc) stays OK.
+func TestDisabledSignals(t *testing.T) {
+	c := New(Config{
+		MemBudgetBytes: -1,
+		Thresholds: Thresholds{
+			LoadElevated: -1, LoadCritical: -1,
+			MemElevated: -1, MemCritical: -1,
+			DiskElevated: -1, DiskCritical: -1,
+			GoroutineElevated: -1, GoroutineCritical: -1,
+			FDElevated: -1, FDCritical: -1,
+		},
+		Telemetry: telemetry.NewRegistry(),
+	})
+	sig := Signals{LoadPerCPU: 100, RSSBytes: 1 << 40, DiskUsedFrac: 1, Goroutines: 1 << 20, FDs: 1 << 20}
+	if got := c.classify(sig, OK); got != OK {
+		t.Fatalf("disabled signals escalated to %v", got)
+	}
+	if (Signals{}).MemUsedFrac() != 0 {
+		t.Fatal("zero budget produced a mem fraction")
+	}
+}
+
+// TestSignalsString formats without panicking and mentions the level
+// drivers.
+func TestSignalsString(t *testing.T) {
+	s := Signals{LoadPerCPU: 1.23, RSSBytes: 10, MemBudgetBytes: 100, DiskUsedFrac: 0.5, Goroutines: 7, FDs: 3}
+	got := s.String()
+	for _, want := range []string{"load/cpu=1.23", "disk=50%", "goroutines=7", "fds=3"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String() = %q missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+//go:build linux
+
+package pressure
+
+import "syscall"
+
+// diskUsage reports the used fraction and free bytes of the
+// filesystem holding path via statfs. Fractions are computed over the
+// space visible to unprivileged users (f_bavail), matching how df
+// reports fullness and how an ingest actually fails.
+func diskUsage(path string) (usedFrac float64, freeBytes int64, ok bool) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(path, &st); err != nil || st.Blocks == 0 {
+		return 0, 0, false
+	}
+	bsize := uint64(st.Bsize)
+	total := st.Blocks * bsize
+	avail := st.Bavail * bsize
+	if total == 0 {
+		return 0, 0, false
+	}
+	return 1 - float64(avail)/float64(total), int64(avail), true
+}
+
+// fdSoftLimit returns the soft RLIMIT_NOFILE (0 when unreadable).
+func fdSoftLimit() int64 {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0
+	}
+	return int64(lim.Cur)
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package pressure
+
+// diskUsage is unavailable off Linux; the disk signal stays disabled.
+func diskUsage(path string) (usedFrac float64, freeBytes int64, ok bool) {
+	return 0, 0, false
+}
+
+// fdSoftLimit is unavailable off Linux; thresholds fall back to the
+// documented constants.
+func fdSoftLimit() int64 { return 0 }

@@ -93,6 +93,11 @@ const (
 	SkipTenant
 	// Drop removes the item without charging — e.g. its waiter is gone.
 	Drop
+	// SkipClass sets aside only the candidate's (tenant, class) pair for
+	// this Pop — e.g. the background class is paused under host
+	// pressure. The tenant's other classes stay eligible; the item stays
+	// queued and no cost is charged.
+	SkipClass
 )
 
 // FairQueue is a weighted fair queue over (tenant, class) using stride
@@ -158,6 +163,18 @@ func (q *FairQueue) LenTenant(tenant string) int {
 	return 0
 }
 
+// LenClass returns one class's queued item count across all tenants.
+func (q *FairQueue) LenClass(c Class) int {
+	if c >= numClasses {
+		return 0
+	}
+	n := 0
+	for _, t := range q.tenants {
+		n += len(t.queues[c])
+	}
+	return n
+}
+
 // Push enqueues it. A tenant (or class) that was idle resumes at the
 // current virtual time rather than its stale pass, so it cannot cash in
 // credit accumulated while absent.
@@ -191,10 +208,13 @@ func (q *FairQueue) Push(it Item) {
 
 // Pop dispatches the best item: the minimum-pass tenant's
 // minimum-classPass head. decide (nil = always Take) may veto: Drop
-// discards the candidate, SkipTenant shelves the tenant for this call.
-// Charging happens only on Take.
+// discards the candidate, SkipTenant shelves the tenant for this call,
+// SkipClass shelves just that tenant's class (a tenant with every
+// non-empty class shelved is set aside like SkipTenant). Charging
+// happens only on Take.
 func (q *FairQueue) Pop(decide func(Item) Decision) (Item, bool) {
 	var skipped []*tenantQ
+	var masked map[*tenantQ]uint8 // per-call bitmask of shelved classes
 	defer func() {
 		for _, t := range skipped {
 			if t.count > 0 {
@@ -205,7 +225,13 @@ func (q *FairQueue) Pop(decide func(Item) Decision) (Item, bool) {
 	for len(q.heap) > 0 {
 		t := q.heap[0]
 		for t.count > 0 {
-			c := t.minClass()
+			c, live := t.minClass(masked[t])
+			if !live {
+				// Every non-empty class is shelved for this call.
+				q.heapRemove(t)
+				skipped = append(skipped, t)
+				break
+			}
 			it := t.queues[c][0]
 			d := Take
 			if decide != nil {
@@ -215,6 +241,12 @@ func (q *FairQueue) Pop(decide func(Item) Decision) (Item, bool) {
 			case Drop:
 				t.dequeue(c)
 				q.size--
+				continue
+			case SkipClass:
+				if masked == nil {
+					masked = make(map[*tenantQ]uint8)
+				}
+				masked[t] |= 1 << c
 				continue
 			case SkipTenant:
 				q.heapRemove(t)
@@ -285,20 +317,19 @@ func (q *FairQueue) Remove(tenant string, class Class, payload any) bool {
 	return false
 }
 
-// minClass returns the non-empty class with the lowest classPass.
-// Callers guarantee t.count > 0.
-func (t *tenantQ) minClass() Class {
-	best := Class(0)
-	found := false
+// minClass returns the non-empty class with the lowest classPass,
+// ignoring classes in mask; found is false when every non-empty class
+// is masked. Callers guarantee t.count > 0.
+func (t *tenantQ) minClass(mask uint8) (best Class, found bool) {
 	for c := Class(0); c < numClasses; c++ {
-		if len(t.queues[c]) == 0 {
+		if len(t.queues[c]) == 0 || mask&(1<<c) != 0 {
 			continue
 		}
 		if !found || t.classPass[c] < t.classPass[best] {
 			best, found = c, true
 		}
 	}
-	return best
+	return best, found
 }
 
 // minActiveClassPass is the tenant-internal virtual time after a

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/pressure"
 	"repro/internal/telemetry"
 )
 
@@ -100,6 +101,14 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// Clock substitutes time.Now in tests.
 	Clock func() time.Time
+	// Pressure, when set, degrades the scheduler with host pressure:
+	// the effective slot pool shrinks (3/4 at elevated, 1/2 at
+	// critical, never below one so admitted work keeps draining), the
+	// background class is paused at critical, and advertised Retry-After
+	// hints stretch (2x elevated, 4x critical) to spread the retry herd
+	// while the host recovers. New subscribes to the controller so a
+	// level drop re-dispatches parked waiters immediately.
+	Pressure *pressure.Controller
 }
 
 // Reason classifies an admission rejection.
@@ -138,8 +147,10 @@ type AdmissionError struct {
 }
 
 func (e *AdmissionError) Error() string {
+	// Round to milliseconds, not seconds: sub-second hints must not
+	// render as the nonsensical "retry in 0s".
 	return fmt.Sprintf("sched: tenant %q %s class: %s (retry in %v)",
-		e.Tenant, e.Class, e.Reason, e.RetryAfter.Round(time.Second))
+		e.Tenant, e.Class, e.Reason, e.RetryAfter.Round(time.Millisecond))
 }
 
 // Request asks for one slot.
@@ -166,6 +177,9 @@ const (
 	MetricRejectedRateLimited = "sched.rejected_rate_limited_total"
 	MetricGrantsActive        = "sched.grants_active"
 	MetricSlotsFree           = "sched.slots_free"
+	MetricSlotsEffective      = "sched.slots_effective"
+	MetricBackgroundPaused    = "sched.background_paused"
+	MetricBackgroundDeferred  = "sched.background_deferred_total"
 	MetricWaitSeconds         = "sched.wait_seconds"
 	MetricServiceSeconds      = "sched.service_seconds"
 	MetricQueueDepthPrefix    = "sched.queue_depth"
@@ -196,6 +210,7 @@ type Scheduler struct {
 	canceled    *telemetry.Counter
 	rejectQF    *telemetry.Counter
 	rejectRL    *telemetry.Counter
+	bgDeferred  *telemetry.Counter
 	active      *telemetry.Gauge
 	waitAll     *telemetry.Histogram
 	waitByClass [numClasses]*telemetry.Histogram
@@ -216,28 +231,43 @@ func New(cfg Config) *Scheduler {
 		now = time.Now
 	}
 	s := &Scheduler{
-		cfg:      cfg,
-		slots:    cfg.Slots,
-		free:     cfg.Slots,
-		fq:       NewFairQueue(),
-		tenants:  make(map[string]*tenantState),
-		now:      now,
-		tel:      tel,
-		admitted: tel.Counter(MetricAdmitted),
-		granted:  tel.Counter(MetricGranted),
-		shed:     tel.Counter(MetricShed),
-		canceled: tel.Counter(MetricCanceled),
-		rejectQF: tel.Counter(MetricRejectedQueueFull),
-		rejectRL: tel.Counter(MetricRejectedRateLimited),
-		active:   tel.Gauge(MetricGrantsActive),
-		waitAll:  tel.Histogram(MetricWaitSeconds),
-		service:  tel.Histogram(MetricServiceSeconds),
+		cfg:        cfg,
+		slots:      cfg.Slots,
+		free:       cfg.Slots,
+		fq:         NewFairQueue(),
+		tenants:    make(map[string]*tenantState),
+		now:        now,
+		tel:        tel,
+		admitted:   tel.Counter(MetricAdmitted),
+		granted:    tel.Counter(MetricGranted),
+		shed:       tel.Counter(MetricShed),
+		canceled:   tel.Counter(MetricCanceled),
+		rejectQF:   tel.Counter(MetricRejectedQueueFull),
+		rejectRL:   tel.Counter(MetricRejectedRateLimited),
+		bgDeferred: tel.Counter(MetricBackgroundDeferred),
+		active:     tel.Gauge(MetricGrantsActive),
+		waitAll:    tel.Histogram(MetricWaitSeconds),
+		service:    tel.Histogram(MetricServiceSeconds),
 	}
 	tel.GaugeFunc(MetricSlotsFree, func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return float64(s.free)
 	})
+	tel.GaugeFunc(MetricSlotsEffective, func() float64 {
+		return float64(s.effectiveSlots(s.level()))
+	})
+	tel.GaugeFunc(MetricBackgroundPaused, func() float64 {
+		if s.level() >= pressure.Critical {
+			return 1
+		}
+		return 0
+	})
+	if p := cfg.Pressure; p != nil {
+		// A level drop is a capacity change with no Acquire/Release event
+		// attached; re-dispatch so parked waiters don't wait for one.
+		p.OnChange(func(pressure.Level) { s.Poke() })
+	}
 	for c := Class(0); c < numClasses; c++ {
 		c := c
 		s.waitByClass[c] = tel.Histogram(MetricWaitSeconds + "." + c.String())
@@ -379,7 +409,7 @@ func (s *Scheduler) Acquire(ctx context.Context, req Request) (*Grant, error) {
 		}
 		t.lastFill = now
 		if t.tokens < 0 {
-			retry := clampRetry(time.Duration(-t.tokens / t.lim.Rate * float64(time.Second)))
+			retry := clampRetry(time.Duration(-t.tokens/t.lim.Rate*float64(time.Second)) * retryFactor(s.level()))
 			s.rejectRL.Inc()
 			s.mu.Unlock()
 			return nil, &AdmissionError{Tenant: tenant, Class: class, Reason: RateLimited, RetryAfter: retry}
@@ -467,14 +497,58 @@ func (s *Scheduler) removeLocked(w *waiter) {
 	s.queuedByClass[w.class]--
 }
 
+// level reads the current host-pressure level (OK when no controller
+// is wired). One atomic load; safe without s.mu.
+func (s *Scheduler) level() pressure.Level {
+	if s.cfg.Pressure == nil {
+		return pressure.OK
+	}
+	return s.cfg.Pressure.Level()
+}
+
+// effectiveSlots applies the degradation ladder to the slot pool: full
+// at OK, 3/4 at elevated, 1/2 at critical — always at least one, so
+// already-admitted work keeps draining and recovery has a pulse.
+func (s *Scheduler) effectiveSlots(lvl pressure.Level) int {
+	eff := s.slots
+	switch lvl {
+	case pressure.Elevated:
+		eff = (s.slots*3 + 3) / 4
+	case pressure.Critical:
+		eff = (s.slots + 1) / 2
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
+}
+
+// Poke re-evaluates dispatch after an external capacity change — a
+// pressure transition grows (or shrinks) the effective slot pool and
+// resumes a paused class without waiting for the next Release.
+func (s *Scheduler) Poke() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dispatchLocked()
+}
+
 // dispatchLocked hands free slots to the fair queue's best eligible
-// waiters.
+// waiters, keeping in-flight grants within the pressure-degraded
+// effective pool. Grants already held above a freshly shrunk pool are
+// never revoked — the pool tightens as they release.
 func (s *Scheduler) dispatchLocked() {
-	for s.free > 0 {
+	lvl := s.level()
+	eff := s.effectiveSlots(lvl)
+	for s.slots-s.free < eff {
 		it, ok := s.fq.Pop(func(it Item) Decision {
 			w := it.Payload.(*waiter)
 			if w.state != wPending {
 				return Drop // defensive: removed waiters should be gone already
+			}
+			if lvl >= pressure.Critical && it.Class == Background {
+				// Best-effort work sits out a critical episode entirely.
+				s.bgDeferred.Inc()
+				return SkipClass
 			}
 			t := s.tenants[it.Tenant]
 			if t.lim.MaxInFlight > 0 && t.inFlight >= t.lim.MaxInFlight {
@@ -516,7 +590,19 @@ func (s *Scheduler) queueRetryLocked(t *tenantState) time.Duration {
 		depth = t.queued
 	}
 	est := time.Duration(float64(depth) * svc / float64(s.slots) * float64(time.Second))
-	return clampRetry(est)
+	return clampRetry(est * retryFactor(s.level()))
+}
+
+// retryFactor stretches advertised retry hints under pressure so the
+// retry herd spreads out while the host recovers.
+func retryFactor(lvl pressure.Level) time.Duration {
+	switch lvl {
+	case pressure.Elevated:
+		return 2
+	case pressure.Critical:
+		return 4
+	}
+	return 1
 }
 
 func clampRetry(d time.Duration) time.Duration {

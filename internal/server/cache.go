@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gformat"
 	"repro/internal/partition"
+	"repro/internal/pressure"
 	"repro/internal/store"
 )
 
@@ -31,6 +32,13 @@ func (s *Server) SetStore(st *store.Store, spoolDir string) error {
 	}
 	s.store = st
 	s.spoolDir = spoolDir
+	if p := s.pressure; p != nil {
+		// Cached artifacts are the cheapest thing to give back when the
+		// host strains: track every level change and apply the current
+		// one now.
+		p.OnChange(func(lvl pressure.Level) { st.SetPressureLevel(lvl) })
+		st.SetPressureLevel(p.Level())
+	}
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/gformat"
+	"repro/internal/pressure"
 	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -61,6 +62,21 @@ type Options struct {
 	// EvictPendingAfter is how long an untouched pending job may occupy
 	// a full registry before eviction reclaims its slot (0 = 10m).
 	EvictPendingAfter time.Duration
+
+	// EnablePressure builds a host-pressure controller into the server:
+	// the scheduler degrades with the host (shrunk slot pool, paused
+	// background class, stretched Retry-After), /readyz flips to 503 at
+	// critical, POST /v1/jobs sheds with 503 + Retry-After at critical,
+	// and an attached store tightens its byte budget. The controller's
+	// os.* / pressure.* gauges join the server's /debug/vars registry.
+	// Callers that want background sampling start it with
+	// Pressure().Start(); tests drive Sample (or inject via
+	// faultpoint) themselves.
+	EnablePressure bool
+	// PressureConfig tunes the controller when EnablePressure is set.
+	// Its Telemetry field is ignored — the server's registry is used —
+	// and DiskPath is usually the artifact-store directory.
+	PressureConfig pressure.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -105,6 +121,10 @@ type Server struct {
 	// in-flight copies.
 	store    *store.Store
 	spoolDir string
+
+	// pressure is the host-pressure controller (nil unless
+	// Options.EnablePressure).
+	pressure *pressure.Controller
 }
 
 // New builds a Server with the given options.
@@ -115,11 +135,17 @@ func New(opts Options) *Server {
 	}
 	s.reg = newRegistry(s.opts.MaxJobs, s.opts.EvictPendingAfter)
 	s.metrics = newMetrics(s.reg)
+	if s.opts.EnablePressure {
+		pc := s.opts.PressureConfig
+		pc.Telemetry = s.metrics.tel
+		s.pressure = pressure.New(pc)
+	}
 	s.sched = sched.New(sched.Config{
 		Slots:     s.opts.MaxActiveStreams,
 		Tenants:   s.opts.Tenants,
 		Defaults:  s.opts.TenantDefaults,
 		Telemetry: s.metrics.tel,
+		Pressure:  s.pressure,
 	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleCreate)
@@ -129,6 +155,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/download", s.handleDownload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /debug/vars", s.metrics.handler)
 	s.mux.HandleFunc("GET /metrics", s.metrics.promHandler)
 	if s.opts.EnablePprof {
@@ -147,6 +174,31 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Telemetry returns the server's metrics registry — the backing store
 // of /debug/vars and /metrics.
 func (s *Server) Telemetry() *telemetry.Registry { return s.metrics.tel }
+
+// Pressure returns the server's host-pressure controller (nil unless
+// Options.EnablePressure). Callers own background sampling: start it
+// with Pressure().Start() and stop it before or after Shutdown.
+func (s *Server) Pressure() *pressure.Controller { return s.pressure }
+
+// pressureLevel is the current host-pressure level (OK when pressure
+// awareness is off).
+func (s *Server) pressureLevel() pressure.Level {
+	if s.pressure == nil {
+		return pressure.OK
+	}
+	return s.pressure.Level()
+}
+
+// setRetryAfterForPressure advertises when a pressure-shed request is
+// worth retrying: the controller's debounced recovery time.
+func (s *Server) setRetryAfterForPressure(w http.ResponseWriter) {
+	secs := int64(s.pressure.RecoveryHint() / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	s.metrics.retryAfterSecs.Set(float64(secs))
+	w.Header().Set("Retry-After", fmt.Sprint(secs))
+}
 
 // BeginDrain puts the server into draining mode: new jobs and new
 // streams are rejected with 503 while in-flight streams keep running.
@@ -213,6 +265,15 @@ type createResponse struct {
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.pressureLevel() >= pressure.Critical {
+		// Degraded mode: shed new work at the front door so the host
+		// can climb back down. Already-created jobs keep their slots —
+		// the scheduler is applying its own ladder to those.
+		s.metrics.jobsRejected.Add(1)
+		s.setRetryAfterForPressure(w)
+		writeError(w, http.StatusServiceUnavailable, "server is under critical host pressure; retry later")
 		return
 	}
 	tenant := r.Header.Get(TenantHeader)
@@ -292,12 +353,41 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleHealth is the liveness probe: 200 whenever the process can
+// still answer (host pressure is reported but does not flip it — a
+// loaded process is alive), 503 only once draining for shutdown.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":   "ok",
+		"pressure": s.pressureLevel().String(),
+	})
+}
+
+// handleReady is the readiness probe: 503 while draining or under
+// critical host pressure, so load balancers route new work elsewhere
+// until the host recovers. In-flight streams are unaffected.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	lvl := s.pressureLevel()
+	if lvl >= pressure.Critical {
+		s.setRetryAfterForPressure(w)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status":   "not ready",
+			"pressure": lvl.String(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":   "ready",
+		"pressure": lvl.String(),
+	})
 }
 
 // flushWriter forwards stream bytes to the client, flushing each chunk

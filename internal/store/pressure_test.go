@@ -1,0 +1,83 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pressure"
+	"repro/internal/telemetry"
+)
+
+// TestPressureTightensBudget: critical pressure halves the effective
+// byte budget and evicts immediately; recovery restores the full
+// budget without resurrecting what was evicted.
+func TestPressureTightensBudget(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	data := bytes.Repeat([]byte("x"), 100)
+	// Budget fits exactly four 100-byte payloads.
+	s := mustOpen(t, dir, Options{MaxBytes: 400, Telemetry: reg})
+	for i := 0; i < 4; i++ {
+		src := writeSrc(t, t.TempDir(), "part", data)
+		if err := s.IngestFile(testKey(t, i), src, 0); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+	if got := s.Stats().Bytes; got != 400 {
+		t.Fatalf("bytes before pressure = %d", got)
+	}
+	if got := reg.GaugeValue(MetricBudget); got != 400 {
+		t.Fatalf("effective budget at ok = %v", got)
+	}
+
+	s.SetPressureLevel(pressure.Elevated) // 3/4 → 300
+	if got := reg.GaugeValue(MetricBudget); got != 300 {
+		t.Fatalf("effective budget at elevated = %v", got)
+	}
+	if got := s.Stats().Bytes; got != 300 {
+		t.Fatalf("bytes after elevated = %d", got)
+	}
+
+	s.SetPressureLevel(pressure.Critical) // 1/2 → 200
+	if got := s.Stats().Bytes; got != 200 {
+		t.Fatalf("bytes after critical = %d", got)
+	}
+	// New ingests respect the tightened budget too.
+	src := writeSrc(t, t.TempDir(), "part", data)
+	if err := s.IngestFile(testKey(t, 9), src, 0); err != nil {
+		t.Fatalf("ingest under critical: %v", err)
+	}
+	if got := s.Stats().Bytes; got != 200 {
+		t.Fatalf("bytes after critical ingest = %d", got)
+	}
+
+	s.SetPressureLevel(pressure.OK)
+	st := s.Stats()
+	if st.Bytes != 200 {
+		t.Fatalf("recovery evicted or resurrected: %d bytes", st.Bytes)
+	}
+	if got := reg.GaugeValue(MetricBudget); got != 400 {
+		t.Fatalf("effective budget after recovery = %v", got)
+	}
+	// One eviction at elevated, one at critical, one making room for
+	// the ingest under critical.
+	if st.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", st.Evictions)
+	}
+}
+
+// TestPressureIgnoredWithoutBudget: an unlimited store never evicts on
+// pressure — there is no budget to scale.
+func TestPressureIgnoredWithoutBudget(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{Telemetry: telemetry.NewRegistry()})
+	for i := 0; i < 3; i++ {
+		src := writeSrc(t, t.TempDir(), "part", bytes.Repeat([]byte("y"), 50))
+		if err := s.IngestFile(testKey(t, i), src, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetPressureLevel(pressure.Critical)
+	if got := s.Stats(); got.Bytes != 150 || got.Evictions != 0 {
+		t.Fatalf("unbudgeted store reacted to pressure: %+v", got)
+	}
+}

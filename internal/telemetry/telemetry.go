@@ -141,6 +141,20 @@ func (g *Gauge) Add(d float64) {
 // Value returns the stored value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// GaugeValue returns the named gauge's current value — plain or
+// func-backed — or 0 when absent. The assertion helper consumer tests
+// use to read the public metric surface without knowing which flavor
+// a subsystem registered.
+func (r *Registry) GaugeValue(name string) float64 {
+	switch g := r.get(name).(type) {
+	case *Gauge:
+		return g.Value()
+	case funcGauge:
+		return g()
+	}
+	return 0
+}
+
 // funcGauge is a read-time computed numeric gauge.
 type funcGauge func() float64
 

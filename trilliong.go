@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gformat"
+	"repro/internal/pressure"
 	"repro/internal/recvec"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -273,6 +274,22 @@ func ParseTenantLimits(s string) (TenantLimits, error) {
 // NewServer builds a generation service. Mount its Handler on an
 // http.Server; call Shutdown to drain gracefully.
 func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// PressureConfig tunes the host-pressure controller: sampling
+// interval, memory budget, watched disk path, and the classification
+// thresholds. The zero value is serviceable (auto-detected budget,
+// default thresholds). See internal/pressure and docs/PRESSURE.md.
+type PressureConfig = pressure.Config
+
+// PressureController samples host signals (load, RSS, disk, goroutine
+// and FD counts) and classifies them into ok/elevated/critical with
+// hysteresis. ServerOptions.EnablePressure builds one into a server;
+// a dist worker advertises one's level through its heartbeats.
+type PressureController = pressure.Controller
+
+// NewPressureController builds a controller; call Start to begin
+// background sampling (it returns the stop function).
+func NewPressureController(cfg PressureConfig) *PressureController { return pressure.New(cfg) }
 
 // MaxNoise returns the largest admissible NoiseParam for a seed.
 func MaxNoise(s Seed) float64 { return skg.MaxNoise(s) }
