@@ -22,6 +22,17 @@
 // degraded start; -parts pins the file layout so runs stay comparable
 // across cluster incarnations; -faultpoints (or TRILLIONG_FAULTPOINTS)
 // arms fault injection for drills.
+//
+// Alternatively, -masterless drops the master entirely: every process
+// is a swarm worker that derives the plan and its claim schedule from
+// the job flags alone and rendezvouses with its peers purely through
+// the shared -out directory (and -store, when given) — zero messages,
+// no leases, workers free to join or die at any time (docs/DIST.md has
+// the failure model). Each worker of one job runs the identical job
+// flags against the same shared directory:
+//
+//	trilliong-dist -masterless -scale 30 -parts 512 -format adj6 \
+//	    -out /shared/graph -store /shared/store -threads 6
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 	"repro/internal/pressure"
 	"repro/internal/skg"
 	"repro/internal/store"
+	"repro/internal/swarm"
 	"repro/internal/telemetry"
 )
 
@@ -69,6 +81,10 @@ func main() {
 		storeDir    = flag.String("store", "", "worker: artifact store directory (cached ranges are copied, not regenerated)")
 		storeMax    = flag.Int64("store-max-bytes", 0, "worker: store size budget in bytes (0 = unbounded)")
 		withPres    = flag.Bool("pressure", false, "worker: sample host pressure and advertise it in heartbeats so the master routes fresh ranges to cooler machines")
+		masterless  = flag.Bool("masterless", false, "run as a swarm worker: no master, schedule derived from the job flags, rendezvous through the shared -out dir/-store (ignores -role)")
+		swarmID     = flag.Uint64("swarm-id", 0, "masterless: worker identity steering collision avoidance (0 = random)")
+		scanEvery   = flag.Duration("scan-interval", 0, "masterless: settle wait before stealing straggler parts (0 = 250ms)")
+		maxEpochs   = flag.Int("max-epochs", 0, "masterless: abort if parts are still missing after this many epochs (0 = unbounded)")
 		faults      = flag.String("faultpoints", "", "arm fault injection, e.g. 'dist.worker.scope=crash*1' (also via "+faultpoint.EnvVar+")")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address")
 		withPprof   = flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof/")
@@ -89,6 +105,60 @@ func main() {
 		if err := faultpoint.ArmSpecs(*faults); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *masterless {
+		f, err := gformat.ParseFormat(*format)
+		if err != nil {
+			fatal(err)
+		}
+		seed, err := parseSeed(*seedSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := core.DefaultConfig(*scale)
+		cfg.EdgeFactor = *edgeFactor
+		cfg.Seed = seed
+		cfg.NoiseParam = *noise
+		cfg.MasterSeed = *masterSeed
+		if *out == "" {
+			fatal(fmt.Errorf("masterless needs -out (the shared rendezvous directory)"))
+		}
+		if *parts < 1 {
+			fatal(fmt.Errorf("masterless needs -parts pinned (> 0): with no master, the file layout must not depend on who shows up"))
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		var st *store.Store
+		if *storeDir != "" {
+			var err error
+			st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax, Telemetry: tel})
+			if err != nil {
+				fatal(err)
+			}
+		}
+		var ctrl *pressure.Controller
+		if *withPres {
+			ctrl = pressure.New(pressure.Config{DiskPath: *out, Telemetry: tel})
+			stopSampling := ctrl.Start()
+			defer stopSampling()
+		}
+		sum, err := swarm.Run(cfg, *out, f, swarm.Options{
+			Parts: *parts, WorkerID: *swarmID, Threads: *threads,
+			ScanInterval: *scanEvery, MaxEpochs: *maxEpochs,
+			Store: st, Pressure: ctrl, Telemetry: tel,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("swarm worker     %016x (%d parts job-wide, %d threads)\n", sum.WorkerID, sum.Parts, *threads)
+		fmt.Printf("claimed          %d parts won, %d publish races lost, %d skipped, %d from store\n", sum.Claimed, sum.Lost, sum.Skipped, sum.FromCache)
+		fmt.Printf("verified         %d present parts across scans\n", sum.Verified)
+		fmt.Printf("epochs           %d claim passes\n", sum.Epochs)
+		fmt.Printf("edges generated  %d (%d bytes, duplicates included)\n", sum.Edges, sum.BytesWritten)
+		fmt.Printf("plan / elapsed   %v / %v\n", sum.PlanDuration, sum.Elapsed)
+		return
 	}
 
 	switch *role {

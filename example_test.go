@@ -3,6 +3,9 @@ package trilliong_test
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"sync"
 
 	trilliong "repro"
 )
@@ -63,4 +66,42 @@ func ExampleBibliographySchema() {
 	}
 	fmt.Println(len(counts) == 3, counts["author"] > 0)
 	// Output: true true
+}
+
+// ExampleConfig_SwarmRun runs two masterless swarm workers against one
+// shared directory: no master, no messages — they rendezvous through
+// the filesystem alone and together publish every part exactly once.
+func ExampleConfig_SwarmRun() {
+	cfg := trilliong.New(9)
+	dir, err := os.MkdirTemp("", "swarm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	const parts = 4
+	var wg sync.WaitGroup
+	sums := make([]trilliong.SwarmSummary, 2)
+	for i := range sums {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sum, err := cfg.SwarmRun(dir, trilliong.ADJ6, trilliong.SwarmOptions{
+				Parts:    parts,
+				WorkerID: uint64(i + 1),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sums[i] = sum
+		}(i)
+	}
+	wg.Wait()
+
+	files, err := filepath.Glob(filepath.Join(dir, "part-*.adj6"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(files), sums[0].Claimed+sums[1].Claimed >= parts)
+	// Output: 4 true
 }

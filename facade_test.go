@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -252,5 +254,56 @@ func TestUndirectedBFSFacade(t *testing.T) {
 	}
 	if und.Visited < directed.Visited {
 		t.Fatalf("undirected reached %d < directed %d", und.Visited, directed.Visited)
+	}
+}
+
+// TestSwarmRunFacade: two masterless workers cooperating through one
+// shared directory converge on exactly the batch file set.
+func TestSwarmRunFacade(t *testing.T) {
+	cfg := New(9)
+	const parts = 4
+
+	ref := t.TempDir()
+	refCfg := cfg
+	refCfg.Workers = parts // one part per worker: same layout as the swarm
+	if _, err := refCfg.GenerateToDir(ref, ADJ6); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	sums := make([]SwarmSummary, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sums[i], errs[i] = cfg.SwarmRun(dir, ADJ6, SwarmOptions{Parts: parts, WorkerID: uint64(i + 1)})
+		}(i)
+	}
+	wg.Wait()
+	claimed := 0
+	for i := range sums {
+		if errs[i] != nil {
+			t.Fatalf("swarm worker %d: %v", i, errs[i])
+		}
+		claimed += sums[i].Claimed
+	}
+	if claimed < parts {
+		t.Fatalf("swarm claimed %d parts in total, want >= %d", claimed, parts)
+	}
+	for i := 0; i < parts; i++ {
+		name := filepath.Join(dir, fmt.Sprintf("part-%05d.adj6", i))
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join(ref, filepath.Base(name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("swarm part %d differs from batch output", i)
+		}
 	}
 }

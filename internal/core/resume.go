@@ -2,9 +2,14 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
@@ -27,32 +32,81 @@ func PartPath(dir string, format gformat.Format, idx int) string {
 // or external corruption can leave a damaged file there, so each
 // present part is structurally verified with CheckPart; failures are
 // deleted and re-listed as missing. This is the resume-skip logic
-// shared by ResumeToDir and the distributed worker.
+// shared by ResumeToDir, the distributed worker, and the masterless
+// swarm's completion scans. The swarm scans repeatedly on a hot path,
+// so verification of present parts runs on a bounded worker pool; the
+// result slices stay in input order regardless.
 func MissingParts(dir string, format gformat.Format, ranges []partition.Range, ids []int) (missing []partition.Range, missingIDs []int) {
-	for i, r := range ranges {
+	type candidate struct {
+		i    int
+		path string
+	}
+	isMissing := make([]bool, len(ranges))
+	var present []candidate
+	for i := range ranges {
 		path := PartPath(dir, format, ids[i])
 		if _, err := os.Stat(path); err == nil {
-			if CheckPart(path, format) == nil {
-				continue
-			}
-			os.Remove(path)
+			present = append(present, candidate{i, path})
+		} else {
+			isMissing[i] = true
 		}
-		missing = append(missing, r)
-		missingIDs = append(missingIDs, ids[i])
+	}
+
+	check := func(c candidate) {
+		if CheckPart(c.path, format) == nil {
+			return
+		}
+		os.Remove(c.path)
+		isMissing[c.i] = true
+	}
+	if workers := min(runtime.GOMAXPROCS(0), len(present)); workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(present) {
+						return
+					}
+					check(present[k])
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for _, c := range present {
+			check(c)
+		}
+	}
+
+	for i := range ranges {
+		if isMissing[i] {
+			missing = append(missing, ranges[i])
+			missingIDs = append(missingIDs, ids[i])
+		}
 	}
 	return missing, missingIDs
 }
 
-// SweepTemps removes leftover part-*.tmp files from a crashed run.
+// SweepTemps removes leftover part-*.tmp files from a crashed run. A
+// tmp file that cannot be removed (read-only disk, permissions) is
+// reported in the joined error rather than swallowed: an immovable tmp
+// would otherwise be silently regenerated around forever.
 func SweepTemps(dir string) error {
 	tmps, err := filepath.Glob(filepath.Join(dir, "part-*.tmp"))
 	if err != nil {
 		return err
 	}
+	var errs []error
 	for _, t := range tmps {
-		os.Remove(t)
+		if err := os.Remove(t); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			errs = append(errs, err)
+		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // AtomicFileSinks is FileSinks with crash safety: each part is written
@@ -61,7 +115,7 @@ func SweepTemps(dir string) error {
 // This is what makes Resume sound.
 func AtomicFileSinks(dir string, format gformat.Format, numVertices int64, first int) SinkFactory {
 	return func(worker int, r partition.Range) (gformat.Writer, error) {
-		return newAtomicWriter(dir, format, numVertices, first+worker)
+		return newAtomicWriter(dir, format, numVertices, first+worker, PartSinkOptions{})
 	}
 }
 
@@ -70,14 +124,48 @@ func AtomicFileSinks(dir string, format gformat.Format, numVertices int64, first
 // ids[i]. The distributed runtime uses it to regenerate exactly the
 // parts a lease names.
 func AtomicPartSinks(dir string, format gformat.Format, numVertices int64, ids []int) SinkFactory {
+	return AtomicPartSinksOpts(dir, format, numVertices, ids, PartSinkOptions{})
+}
+
+// PartSinkOptions tunes AtomicPartSinksOpts for directories shared by
+// independent writers — the masterless swarm runtime, where several
+// processes may race to publish the same part. The zero value is plain
+// AtomicPartSinks behavior.
+type PartSinkOptions struct {
+	// TmpSuffix, when non-empty, is inserted into each temp file name
+	// (part-NNNNN.<ext>.<TmpSuffix>.tmp) so writers in different
+	// processes racing on the same part never interleave bytes into one
+	// temp file. The names still match the part-*.tmp pattern
+	// SweepTemps removes, so crashed-writer litter remains sweepable.
+	TmpSuffix string
+	// OnDuplicate arms lose-detection at publish time: if the final
+	// part path already exists when this writer is about to rename its
+	// temp into place, the temp is discarded — the existing file is
+	// bit-identical by the determinism contract, so the first publisher
+	// wins — OnDuplicate is called with the part id, and Close reports
+	// success. nil keeps the plain semantics (rename unconditionally;
+	// an overwrite replaces identical bytes).
+	OnDuplicate func(id int)
+}
+
+// AtomicPartSinksOpts is AtomicPartSinks with shared-directory options.
+func AtomicPartSinksOpts(dir string, format gformat.Format, numVertices int64, ids []int, opt PartSinkOptions) SinkFactory {
 	return func(worker int, r partition.Range) (gformat.Writer, error) {
-		return newAtomicWriter(dir, format, numVertices, ids[worker])
+		return newAtomicWriter(dir, format, numVertices, ids[worker], opt)
 	}
 }
 
-func newAtomicWriter(dir string, format gformat.Format, numVertices int64, idx int) (gformat.Writer, error) {
+func newAtomicWriter(dir string, format gformat.Format, numVertices int64, idx int, opt PartSinkOptions) (gformat.Writer, error) {
 	final := PartPath(dir, format, idx)
 	tmp := final + ".tmp"
+	if opt.TmpSuffix != "" {
+		tmp = final + "." + opt.TmpSuffix + ".tmp"
+	}
+	var onDup func()
+	if opt.OnDuplicate != nil {
+		fn := opt.OnDuplicate
+		onDup = func() { fn(idx) }
+	}
 	f, err := os.Create(tmp)
 	if err != nil {
 		return nil, err
@@ -101,13 +189,17 @@ func newAtomicWriter(dir string, format gformat.Format, numVertices int64, idx i
 		os.Remove(tmp)
 		return nil, fmt.Errorf("core: unsupported format %v", format)
 	}
-	return &atomicWriter{Writer: w, f: f, tmp: tmp, final: final}, nil
+	return &atomicWriter{Writer: w, f: f, tmp: tmp, final: final, onDup: onDup}, nil
 }
 
 type atomicWriter struct {
 	gformat.Writer
 	f          *os.File
 	tmp, final string
+	// onDup, when set, turns the publish into a first-writer-wins
+	// claim: an already-present final file discards this temp instead
+	// of renaming over it, and onDup records the lost race.
+	onDup func()
 }
 
 func (a *atomicWriter) WriteScope(src int64, dsts []int64) error {
@@ -136,6 +228,19 @@ func (a *atomicWriter) Close() error {
 	if err := a.f.Close(); err != nil {
 		os.Remove(a.tmp)
 		return err
+	}
+	if a.onDup != nil {
+		if _, err := os.Stat(a.final); err == nil {
+			// A peer published this part first. Its bytes are identical
+			// by the determinism contract, so losing the race costs
+			// nothing but the duplicated work; keep the winner's file
+			// untouched. (If the winner lands between this stat and the
+			// rename below, the rename replaces identical bytes —
+			// equally harmless, just counted as a win by both.)
+			os.Remove(a.tmp)
+			a.onDup()
+			return nil
+		}
 	}
 	if err := os.Rename(a.tmp, a.final); err != nil {
 		return err
@@ -225,6 +330,18 @@ func ReadRunManifest(dir string) (*RunManifest, error) {
 func fingerprint(cfg Config, format gformat.Format, parts int) string {
 	cfg.Workers = 0
 	return fmt.Sprintf("cfg=%+v format=%v parts=%d", cfg, format, parts)
+}
+
+// EnsureRunManifest validates dir against an existing resume manifest
+// or writes one recording (cfg, format, parts). It is the
+// shared-directory handshake of the masterless swarm workers: every
+// worker performs it before generating, so two workers pointed at one
+// directory with different configurations fail loudly instead of
+// interleaving parts of two different graphs. Writing is idempotent
+// and race-safe between workers of the *same* job — they serialize the
+// identical bytes, so whichever rename lands last changes nothing.
+func EnsureRunManifest(dir string, cfg Config, format gformat.Format, parts int) error {
+	return checkOrWriteManifest(dir, cfg, format, parts)
 }
 
 // checkOrWriteManifest validates dir against an existing manifest or

@@ -1,0 +1,339 @@
+package swarm
+
+// Chaos tests: swarm runs disturbed by injected faults — workers
+// killed mid-part, duplicate-claim races, late joiners, pressure
+// throttling — must converge to the exact file set of a single-process
+// batch run. CI executes them as their own race-enabled step
+// (go test -race -run Chaos ./internal/swarm/...).
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultpoint"
+	"repro/internal/gformat"
+	"repro/internal/pressure"
+	"repro/internal/telemetry"
+)
+
+// TestChaosKillMidPartBitIdentical is the acceptance scenario: three
+// workers share one directory, one of them dies mid-part (its first
+// part write fails, aborting its Run exactly where a kill -9 would,
+// with the part unpublished and only temp litter behind). The
+// survivors must complete the job with zero messages and the file set
+// must be bit-identical to batch.
+func TestChaosKillMidPartBitIdentical(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	cfg := testConfig(10)
+	const parts = 6
+	want := batchRef(t, cfg, parts, gformat.ADJ6)
+
+	// One write fails process-wide: exactly one of the three workers —
+	// whichever generates first — dies mid-part.
+	if err := faultpoint.Arm("core.sink.write", "fail*1"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	sums := make([]Summary, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sums[i], errs[i] = Run(cfg, dir, gformat.ADJ6, Options{
+				Parts:        parts,
+				WorkerID:     uint64(i + 1),
+				ScanInterval: 20 * time.Millisecond,
+			})
+		}(i)
+	}
+	wg.Wait()
+	dead := 0
+	claimed := 0
+	for i, err := range errs {
+		if err != nil {
+			dead++
+			t.Logf("worker %d died: %v", i, err)
+			continue
+		}
+		claimed += sums[i].Claimed
+	}
+	if dead != 1 {
+		t.Fatalf("%d workers died, armed for exactly 1", dead)
+	}
+	assertSameParts(t, readDir(t, dir, parts, gformat.ADJ6), want)
+	if claimed < parts-1 {
+		// The victim may have published parts before dying; survivors
+		// must have won everything else.
+		t.Fatalf("survivors claimed %d parts, want >= %d", claimed, parts-1)
+	}
+}
+
+// TestChaosEpochAdvancementDeterministic forces the message-free work
+// stealing deterministically: a lone worker's first claim stalls on the
+// armed faultpoint while the test (standing in for a peer that then
+// dies) publishes exactly the part at the head of the worker's epoch-0
+// schedule. The worker wakes, finds its claim already covered, ends the
+// pass as peer territory — and must then advance to epoch 1 to steal
+// the genuinely dead peer's remaining parts.
+func TestChaosEpochAdvancementDeterministic(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	cfg := testConfig(9)
+	const parts = 4
+	format := gformat.ADJ6
+	want := batchRef(t, cfg, parts, format)
+
+	dir := t.TempDir()
+	const workerID = 42
+	head := epochOrder(jobSeed(core.CacheFingerprint(cfg), format, parts), workerID, 0, parts)[0]
+
+	if err := faultpoint.Arm(PointClaim, "stall:500ms*1"); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		sum Summary
+		err error
+		wg  sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sum, err = Run(cfg, dir, format, Options{
+			Parts:        parts,
+			WorkerID:     workerID,
+			ScanInterval: 30 * time.Millisecond,
+		})
+	}()
+	// The worker scans (all missing) and stalls at its first claim.
+	// Publish that very part during the stall.
+	time.Sleep(150 * time.Millisecond)
+	ranges, perr := core.Plan(cfg, parts)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	ids := []int{head}
+	if _, perr := core.GenerateRanges(cfg, ranges[head:head+1], core.AtomicPartSinks(dir, format, cfg.NumVertices(), ids)); perr != nil {
+		t.Fatal(perr)
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameParts(t, readDir(t, dir, parts, format), want)
+	if sum.Skipped != 1 {
+		t.Fatalf("worker skipped %d claims, want exactly the pre-published head part: %+v", sum.Skipped, sum)
+	}
+	if sum.Claimed != parts-1 {
+		t.Fatalf("worker claimed %d parts, want %d: %+v", sum.Claimed, parts-1, sum)
+	}
+	if sum.Epochs < 2 {
+		t.Fatalf("worker finished in %d claim epochs — the stolen straggler work must force epoch advancement: %+v", sum.Epochs, sum)
+	}
+}
+
+// TestChaosDuplicateClaimRace pits two workers with the *same*
+// identity (hence identical schedules) against a one-part job, with a
+// stall widening the window between presence recheck and publish so
+// both generate the part. Exactly two full generations happen; the
+// store of record stays bit-identical to batch; and the winner/loser
+// ledgers sum to the duplicated work.
+func TestChaosDuplicateClaimRace(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	cfg := testConfig(9)
+	const parts = 1
+	want := batchRef(t, cfg, parts, gformat.ADJ6)
+
+	if err := faultpoint.Arm(PointClaim, "stall:300ms*2"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tels := [2]*telemetry.Registry{telemetry.NewRegistry(), telemetry.NewRegistry()}
+	sums := make([]Summary, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sums[i], errs[i] = Run(cfg, dir, gformat.ADJ6, Options{
+				Parts:        parts,
+				WorkerID:     7, // deliberately shared: maximal collision pressure
+				ScanInterval: 20 * time.Millisecond,
+				Telemetry:    tels[i],
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	assertSameParts(t, readDir(t, dir, parts, gformat.ADJ6), want)
+	assertNoTempLitter(t, dir)
+	claimed := sums[0].Claimed + sums[1].Claimed
+	lost := sums[0].Lost + sums[1].Lost
+	skipped := sums[0].Skipped + sums[1].Skipped
+	// Both stalled past the recheck before either published, so each
+	// worker either generated the part (winning or losing the publish)
+	// or — if the scheduler let one finish inside the other's stall —
+	// skipped at claim time. Every generation is accounted exactly once.
+	if claimed < 1 || claimed+lost+skipped != 2 {
+		t.Fatalf("duplicate-claim ledger off: claimed=%d lost=%d skipped=%d (sums %+v)", claimed, lost, skipped, sums)
+	}
+	for i := range tels {
+		if got := tels[i].CounterValue(MetricClaimsLost); got != int64(sums[i].Lost) {
+			t.Fatalf("worker %d telemetry lost %d, summary %d", i, got, sums[i].Lost)
+		}
+	}
+}
+
+// TestChaosLateJoiner starts one worker alone on a slowed job, then a
+// second joins the shared directory mid-run; the pair must finish with
+// batch-identical bytes and a consistent joint ledger.
+func TestChaosLateJoiner(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	cfg := testConfig(10)
+	const parts = 6
+	want := batchRef(t, cfg, parts, gformat.ADJ6)
+
+	// Slow the early claims so the first worker cannot finish the job
+	// before the second even joins.
+	if err := faultpoint.Arm(PointClaim, "stall:80ms*4"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	sums := make([]Summary, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sums[0], errs[0] = Run(cfg, dir, gformat.ADJ6, Options{
+			Parts: parts, WorkerID: 1, ScanInterval: 20 * time.Millisecond,
+		})
+	}()
+	time.Sleep(120 * time.Millisecond)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sums[1], errs[1] = Run(cfg, dir, gformat.ADJ6, Options{
+			Parts: parts, WorkerID: 2, ScanInterval: 20 * time.Millisecond,
+		})
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	assertSameParts(t, readDir(t, dir, parts, gformat.ADJ6), want)
+	assertNoTempLitter(t, dir)
+	if claimed := sums[0].Claimed + sums[1].Claimed; claimed < parts {
+		t.Fatalf("winners claim %d parts in total, want >= %d (sums %+v)", claimed, parts, sums)
+	}
+	t.Logf("late-joiner split: early %+v, joiner %+v", sums[0], sums[1])
+}
+
+// TestChaosCriticalPressureThrottlesClaims runs a lone worker whose
+// host is forced to critical pressure: every claim must pay a throttle
+// wait, yet the worker — last one standing, with no cooler peer to
+// yield to — still completes with bit-identical bytes. Pressure
+// degrades rate, never bytes and never liveness.
+func TestChaosCriticalPressureThrottlesClaims(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	cfg := testConfig(9)
+	const parts = 6
+	want := batchRef(t, cfg, parts, gformat.ADJ6)
+
+	ctrl := pressure.New(pressure.Config{})
+	ctrl.Force(pressure.Critical)
+	tel := telemetry.NewRegistry()
+
+	dir := t.TempDir()
+	sum, err := Run(cfg, dir, gformat.ADJ6, Options{
+		Parts: parts, WorkerID: 1, ScanInterval: 20 * time.Millisecond,
+		Pressure: ctrl, ThrottleCritical: 30 * time.Millisecond, Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameParts(t, readDir(t, dir, parts, gformat.ADJ6), want)
+	if sum.Claimed != parts {
+		t.Fatalf("critical lone worker claimed %d parts, want %d", sum.Claimed, parts)
+	}
+	if waits := tel.CounterValue(MetricThrottleWaits); waits != int64(parts) {
+		t.Fatalf("critical worker recorded %d throttle waits, want one per claim (%d)", waits, parts)
+	}
+	// Recovery lifts the brake: a fresh directory at OK pressure
+	// records zero waits.
+	ctrl.Force(pressure.OK)
+	tel2 := telemetry.NewRegistry()
+	if _, err := Run(cfg, t.TempDir(), gformat.ADJ6, Options{
+		Parts: parts, WorkerID: 1, Pressure: ctrl, Telemetry: tel2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if waits := tel2.CounterValue(MetricThrottleWaits); waits != 0 {
+		t.Fatalf("OK-pressure worker recorded %d throttle waits, want 0", waits)
+	}
+}
+
+// TestChaosScanFaultAbortsCleanly: a failing completion scan aborts
+// the worker with the injected error; a fresh worker then finishes the
+// job in the same directory.
+func TestChaosScanFaultAbortsCleanly(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	cfg := testConfig(8)
+	const parts = 2
+	dir := t.TempDir()
+	if err := faultpoint.Arm(PointScan, "fail:scan disk gone*1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg, dir, gformat.ADJ6, Options{Parts: parts}); err == nil {
+		t.Fatal("worker survived a failing completion scan")
+	}
+	faultpoint.Reset()
+	sum, err := Run(cfg, dir, gformat.ADJ6, Options{Parts: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Claimed != parts {
+		t.Fatalf("recovery worker claimed %d, want %d", sum.Claimed, parts)
+	}
+	want := batchRef(t, cfg, parts, gformat.ADJ6)
+	assertSameParts(t, readDir(t, dir, parts, gformat.ADJ6), want)
+}
+
+// TestChaosMaxEpochsBackstop: a part that can never be published —
+// its final path is squatted by a non-empty directory, so scans flag
+// it missing (structurally invalid, undeletable) while every claim
+// sees "present" and skips — must trip the MaxEpochs backstop instead
+// of spinning forever.
+func TestChaosMaxEpochsBackstop(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	cfg := testConfig(8)
+	const parts = 2
+	dir := t.TempDir()
+	squat := core.PartPath(dir, gformat.ADJ6, 1)
+	if err := os.MkdirAll(filepath.Join(squat, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(cfg, dir, gformat.ADJ6, Options{Parts: parts, MaxEpochs: 3, ScanInterval: time.Millisecond})
+	if err == nil {
+		t.Fatal("worker with an unpublishable part returned success")
+	}
+	t.Logf("backstop: %v", err)
+}

@@ -1,0 +1,289 @@
+package swarm
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gformat"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+func testConfig(scale int) core.Config {
+	cfg := core.DefaultConfig(scale)
+	cfg.MasterSeed = 321
+	return cfg
+}
+
+// batchRef generates the single-process reference file set: the bytes
+// every swarm run, however disturbed, must converge to.
+func batchRef(t *testing.T, cfg core.Config, parts int, format gformat.Format) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	ranges, err := core.Plan(cfg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, parts)
+	for i := range ids {
+		ids[i] = i
+	}
+	if _, err := core.GenerateRanges(cfg, ranges, core.AtomicPartSinks(dir, format, cfg.NumVertices(), ids)); err != nil {
+		t.Fatal(err)
+	}
+	return readDir(t, dir, parts, format)
+}
+
+// readDir reads the full expected part set from dir, failing on any
+// absent part, and asserts no temp litter remains (clean runs must not
+// leave any; only killed workers may).
+func readDir(t *testing.T, dir string, parts int, format gformat.Format) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, parts)
+	for id := 0; id < parts; id++ {
+		path := core.PartPath(dir, format, id)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("part %d: %v", id, err)
+		}
+		out[filepath.Base(path)] = b
+	}
+	return out
+}
+
+func assertNoTempLitter(t *testing.T, dir string) {
+	t.Helper()
+	tmps, err := filepath.Glob(filepath.Join(dir, "part-*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("clean run left temp litter: %v", tmps)
+	}
+}
+
+func assertSameParts(t *testing.T, got, want map[string][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d parts, want %d", len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("part %s missing", name)
+		}
+		if string(g) != string(w) {
+			t.Fatalf("part %s differs from batch output", name)
+		}
+	}
+}
+
+func TestEpochOrderIsSharedPermutationWithPrivateRotation(t *testing.T) {
+	const seed, parts = 0xfeed, 16
+	a := epochOrder(seed, 1, 0, parts)
+	b := epochOrder(seed, 2, 0, parts)
+	seen := make([]bool, parts)
+	for _, id := range a {
+		if id < 0 || id >= parts || seen[id] {
+			t.Fatalf("not a permutation: %v", a)
+		}
+		seen[id] = true
+	}
+	// Same cycle, different starting offset: b must be a rotation of a.
+	start := -1
+	for i, id := range a {
+		if id == b[0] {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatalf("b[0]=%d not found in a=%v", b[0], a)
+	}
+	for i := range b {
+		if b[i] != a[(start+i)%parts] {
+			t.Fatalf("worker schedules are not rotations of one shared cycle:\na=%v\nb=%v", a, b)
+		}
+	}
+	// Deterministic: the same identity derives the same schedule.
+	again := epochOrder(seed, 1, 0, parts)
+	for i := range a {
+		if a[i] != again[i] {
+			t.Fatal("epochOrder is not deterministic")
+		}
+	}
+	// A fresh epoch reshuffles the cycle itself.
+	next := epochOrder(seed, 1, 1, parts)
+	same := true
+	for i := range a {
+		if a[i] != next[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("epoch 1 schedule identical to epoch 0")
+	}
+}
+
+func TestJobSeedSeparatesJobs(t *testing.T) {
+	cfg := testConfig(8)
+	base := jobSeed(core.CacheFingerprint(cfg), gformat.ADJ6, 4)
+	if jobSeed(core.CacheFingerprint(cfg), gformat.ADJ6, 8) == base {
+		t.Fatal("part count not mixed into job seed")
+	}
+	if jobSeed(core.CacheFingerprint(cfg), gformat.TSV, 4) == base {
+		t.Fatal("format not mixed into job seed")
+	}
+	other := cfg
+	other.MasterSeed = 99
+	if jobSeed(core.CacheFingerprint(other), gformat.ADJ6, 4) == base {
+		t.Fatal("config fingerprint not mixed into job seed")
+	}
+}
+
+func TestRunRequiresPinnedParts(t *testing.T) {
+	if _, err := Run(testConfig(8), t.TempDir(), gformat.ADJ6, Options{}); err == nil {
+		t.Fatal("Run accepted Parts=0")
+	}
+	if _, err := Run(testConfig(8), filepath.Join(t.TempDir(), "absent"), gformat.ADJ6, Options{Parts: 2}); err == nil {
+		t.Fatal("Run accepted a nonexistent shared directory")
+	}
+}
+
+func TestRunRejectsMismatchedJobInSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Run(testConfig(8), dir, gformat.ADJ6, Options{Parts: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(testConfig(9), dir, gformat.ADJ6, Options{Parts: 2}); err == nil {
+		t.Fatal("mismatched config accepted against a claimed shared directory")
+	}
+	if _, err := Run(testConfig(8), dir, gformat.ADJ6, Options{Parts: 4}); err == nil {
+		t.Fatal("mismatched part count accepted against a claimed shared directory")
+	}
+}
+
+func TestRunSingleWorkerMatchesBatch(t *testing.T) {
+	cfg := testConfig(9)
+	const parts = 4
+	want := batchRef(t, cfg, parts, gformat.ADJ6)
+
+	dir := t.TempDir()
+	tel := telemetry.NewRegistry()
+	sum, err := Run(cfg, dir, gformat.ADJ6, Options{Parts: parts, Threads: 2, ScanInterval: 20 * time.Millisecond, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameParts(t, readDir(t, dir, parts, gformat.ADJ6), want)
+	assertNoTempLitter(t, dir)
+	if sum.Claimed != parts || sum.Lost != 0 || sum.Skipped != 0 || sum.FromCache != 0 {
+		t.Fatalf("lone worker accounting off: %+v", sum)
+	}
+	if sum.Epochs != 1 {
+		t.Fatalf("lone worker took %d claim epochs, want 1", sum.Epochs)
+	}
+	if sum.Edges == 0 || sum.BytesWritten == 0 {
+		t.Fatalf("no generation recorded: %+v", sum)
+	}
+	if got := tel.CounterValue(MetricPartsClaimed); got != int64(parts) {
+		t.Fatalf("telemetry claimed %d, summary %d", got, parts)
+	}
+	if got := tel.CounterValue(MetricEdges); got != sum.Edges {
+		t.Fatalf("telemetry edges %d, summary %d", got, sum.Edges)
+	}
+}
+
+func TestRunJoiningFinishedJobOnlyVerifies(t *testing.T) {
+	cfg := testConfig(8)
+	const parts = 3
+	dir := t.TempDir()
+	if _, err := Run(cfg, dir, gformat.ADJ6, Options{Parts: parts}); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(cfg, dir, gformat.ADJ6, Options{Parts: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Claimed != 0 || sum.Epochs != 0 {
+		t.Fatalf("joiner to a finished job did work: %+v", sum)
+	}
+	if sum.Verified != parts {
+		t.Fatalf("joiner verified %d parts, want %d", sum.Verified, parts)
+	}
+}
+
+func TestRunStoreIsSecondRendezvousSurface(t *testing.T) {
+	cfg := testConfig(9)
+	const parts = 4
+	want := batchRef(t, cfg, parts, gformat.ADJ6)
+
+	st, err := store.Open(filepath.Join(t.TempDir(), "store"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg, t.TempDir(), gformat.ADJ6, Options{Parts: parts, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	// A worker in a *fresh* directory sharing the store regenerates
+	// nothing: every part materializes from the store.
+	dir2 := t.TempDir()
+	tel := telemetry.NewRegistry()
+	sum, err := Run(cfg, dir2, gformat.ADJ6, Options{Parts: parts, Store: st, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.FromCache != parts || sum.Claimed != 0 {
+		t.Fatalf("warm store run regenerated: %+v", sum)
+	}
+	if got := tel.CounterValue(MetricStoreHits); got != int64(parts) {
+		t.Fatalf("telemetry store hits %d, want %d", got, parts)
+	}
+	assertSameParts(t, readDir(t, dir2, parts, gformat.ADJ6), want)
+}
+
+// TestRunThreeWorkersBitIdentical: the undisturbed swarm case — three
+// workers sharing one directory converge on exactly the batch file set
+// with every part published by exactly one winner.
+func TestRunThreeWorkersBitIdentical(t *testing.T) {
+	cfg := testConfig(10)
+	const parts = 6
+	want := batchRef(t, cfg, parts, gformat.ADJ6)
+
+	dir := t.TempDir()
+	sums := make([]Summary, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sums[i], errs[i] = Run(cfg, dir, gformat.ADJ6, Options{
+				Parts:        parts,
+				WorkerID:     uint64(i + 1),
+				ScanInterval: 20 * time.Millisecond,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	assertSameParts(t, readDir(t, dir, parts, gformat.ADJ6), want)
+	assertNoTempLitter(t, dir)
+	claimed := 0
+	for _, s := range sums {
+		claimed += s.Claimed
+	}
+	// Every present part had a winning publish; a rare same-instant
+	// publish race can double-count a win, never under-count one.
+	if claimed < parts {
+		t.Fatalf("winners claim %d parts in total, want >= %d (sums %+v)", claimed, parts, sums)
+	}
+}

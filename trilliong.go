@@ -35,6 +35,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/skg"
 	"repro/internal/store"
+	"repro/internal/swarm"
 )
 
 // Seed is the 2x2 stochastic seed matrix [A B; C D] (α, β, γ, δ in the
@@ -274,6 +275,30 @@ func ParseTenantLimits(s string) (TenantLimits, error) {
 // NewServer builds a generation service. Mount its Handler on an
 // http.Server; call Shutdown to drain gracefully.
 func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// SwarmOptions configures one masterless swarm worker: the pinned
+// part count, worker identity, claim concurrency, scan pacing and the
+// optional store/pressure/telemetry hookups. See internal/swarm.
+type SwarmOptions = swarm.Options
+
+// SwarmSummary reports one swarm worker's share of a masterless run
+// (parts claimed/lost/skipped/cached, claim epochs, edges generated).
+type SwarmSummary = swarm.Summary
+
+// SwarmRun executes one masterless swarm worker against the shared
+// directory dir: no master, no leases, no messages. The worker derives
+// the plan and a per-epoch claim schedule purely from (Config, its
+// identity, the epoch number), publishes parts via atomic rename —
+// racing duplicates are bit-identical, first writer wins — and
+// repeatedly scans dir until no part is missing. Any number of
+// SwarmRun invocations (processes or goroutines, started together or
+// hours apart, freely killable) pointed at the same dir cooperate on
+// one job and converge on exactly the file set GenerateToDir produces.
+// opts.Parts must be pinned (> 0) and identical across the fleet; see
+// docs/DIST.md for the failure model.
+func (c Config) SwarmRun(dir string, format Format, opts SwarmOptions) (SwarmSummary, error) {
+	return swarm.Run(c.toCore(), dir, format, opts)
+}
 
 // PressureConfig tunes the host-pressure controller: sampling
 // interval, memory budget, watched disk path, and the classification
