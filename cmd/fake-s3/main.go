@@ -1,0 +1,56 @@
+// Command fake-s3 serves the in-process S3 fake from
+// internal/store/s3 over a real listener, for local development and
+// the CI s3-smoke job. It speaks enough of the S3 REST API for the
+// TrillionG store's cold tier: path-style object PUT/GET/DELETE,
+// ListObjectsV2, multipart uploads, SigV4 verification (header and
+// presigned) and presigned-GET delivery. Objects live in memory; the
+// process is the bucket.
+//
+// Usage:
+//
+//	fake-s3 -addr :9000 -access test -secret test
+//	trilliong-serve -store-dir /tmp/hot \
+//	    -remote-store 's3://any-bucket?endpoint=http://127.0.0.1:9000&access-key=test&secret-key=test'
+//
+// With -access/-secret empty the server accepts unsigned requests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/store/s3"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":9000", "listen address")
+		access = flag.String("access", "", "required access key id (empty = accept unsigned requests)")
+		secret = flag.String("secret", "", "secret key matching -access")
+		region = flag.String("region", "us-east-1", "region clients must sign for")
+	)
+	flag.Parse()
+	if (*access == "") != (*secret == "") {
+		fatal(fmt.Errorf("-access and -secret must be set together"))
+	}
+
+	fake := s3.NewFakeServer()
+	fake.Access = *access
+	fake.Secret = *secret
+	fake.Region = *region
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fake-s3: listening on %s\n", ln.Addr())
+	fatal(http.Serve(ln, fake))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fake-s3:", err)
+	os.Exit(1)
+}

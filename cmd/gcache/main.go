@@ -1,27 +1,35 @@
 // Command gcache operates on a TrillionG artifact store (see
 // docs/STORE.md): list and verify cached parts, trim the store to a
-// byte budget, and pin entries eviction must never touch.
+// byte budget, pin entries eviction must never touch, and move
+// artifacts between the local hot tier and a remote cold tier.
 //
 // Usage:
 //
-//	gcache -dir /var/cache/trilliong ls
+//	gcache -dir /var/cache/trilliong ls [-json]
 //	gcache -dir /var/cache/trilliong stats
 //	gcache -dir /var/cache/trilliong verify
 //	gcache -dir /var/cache/trilliong gc -target 10737418240
 //	gcache -dir /var/cache/trilliong pin <key>
 //	gcache -dir /var/cache/trilliong unpin <key>
+//	gcache -dir ... -remote-store s3://bucket?endpoint=URL push <key>|-all
+//	gcache -dir ... -remote-store s3://bucket?endpoint=URL pull <key>
+//	gcache -dir ... -remote-store s3://bucket?endpoint=URL tiers
 //
-// Keys are the 64-hex-digit digests `ls` prints. Every command takes
-// the store's own lock-free on-disk layout at face value; it is safe
-// to run gcache while generators are using the store.
+// Keys are the 64-hex-digit digests `ls` prints. -remote-store takes
+// an s3:// spec or a directory path (see docs/STORE.md). Every command
+// takes the store's own lock-free on-disk layout at face value; it is
+// safe to run gcache while generators are using the store.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
+	trilliong "repro"
 	"repro/internal/store"
 )
 
@@ -37,8 +45,9 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gcache", flag.ContinueOnError)
 	dir := fs.String("dir", "", "artifact store directory (required)")
 	maxBytes := fs.Int64("max-bytes", 0, "store byte budget used by gc without -target (0 = unbounded)")
+	remoteSpec := fs.String("remote-store", "", "cold tier: s3://bucket[/prefix]?endpoint=URL or a directory path")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: gcache -dir <store> <ls|stats|verify|gc|pin|unpin> [args]")
+		fmt.Fprintln(fs.Output(), "usage: gcache -dir <store> [-remote-store <spec>] <ls|stats|verify|gc|pin|unpin|push|pull|tiers> [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -48,9 +57,13 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-dir is required")
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("missing command: ls, stats, verify, gc, pin or unpin")
+		return fmt.Errorf("missing command: ls, stats, verify, gc, pin, unpin, push, pull or tiers")
 	}
-	st, err := store.Open(*dir, store.Options{MaxBytes: *maxBytes})
+	remote, err := trilliong.OpenStoreBackend(*remoteSpec, nil)
+	if err != nil {
+		return fmt.Errorf("-remote-store: %w", err)
+	}
+	st, err := store.Open(*dir, store.Options{MaxBytes: *maxBytes, Remote: remote})
 	if err != nil {
 		return err
 	}
@@ -58,7 +71,7 @@ func run(args []string, stdout io.Writer) error {
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
 	switch cmd {
 	case "ls":
-		return runLs(st, stdout)
+		return runLs(st, rest, stdout)
 	case "stats":
 		return runStats(st, stdout)
 	case "verify":
@@ -67,14 +80,51 @@ func run(args []string, stdout io.Writer) error {
 		return runGC(st, rest, stdout)
 	case "pin", "unpin":
 		return runPin(st, cmd, rest, stdout)
+	case "push":
+		return runPush(st, rest, stdout)
+	case "pull":
+		return runPull(st, rest, stdout)
+	case "tiers":
+		return runTiers(st, stdout)
 	default:
-		return fmt.Errorf("unknown command %q (want ls, stats, verify, gc, pin or unpin)", cmd)
+		return fmt.Errorf("unknown command %q (want ls, stats, verify, gc, pin, unpin, push, pull or tiers)", cmd)
 	}
 }
 
+// lsEntry is one object in `ls -json` output. Field order is the
+// emitted key order; keep it stable — scripts diff this.
+type lsEntry struct {
+	Key    string `json:"key"`
+	Size   int64  `json:"size"`
+	Edges  int64  `json:"edges"`
+	Pinned bool   `json:"pinned,omitempty"`
+}
+
 // runLs prints one line per cached object: key, size, edges, pin mark.
-func runLs(st *store.Store, w io.Writer) error {
-	for _, info := range st.List() {
+// -json emits the same listing as a byte-stable JSON array (sorted by
+// key, two-space indent, trailing newline — the gstat -json
+// convention).
+func runLs(st *store.Store, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gcache ls", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit a sorted JSON array instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	infos := st.List()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Key.String() < infos[j].Key.String() })
+	if *asJSON {
+		entries := make([]lsEntry, len(infos))
+		for i, info := range infos {
+			entries[i] = lsEntry{Key: info.Key.String(), Size: info.Size, Edges: info.Edges, Pinned: info.Pinned}
+		}
+		b, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", b)
+		return err
+	}
+	for _, info := range infos {
 		pin := ""
 		if info.Pinned {
 			pin = "  pinned"
@@ -141,5 +191,107 @@ func runPin(st *store.Store, cmd string, args []string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "%sned %s\n", cmd, key)
+	return nil
+}
+
+// runPush uploads one local object (or, with -all, every one) into the
+// cold tier without evicting it — warm-up for a fresh bucket, or
+// pre-demotion before shrinking the hot tier.
+func runPush(st *store.Store, args []string, w io.Writer) error {
+	if st.Remote() == nil {
+		return fmt.Errorf("push needs -remote-store")
+	}
+	if len(args) == 1 && args[0] == "-all" {
+		pushed, err := st.PushAll()
+		fmt.Fprintf(w, "pushed %d objects\n", pushed)
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("push needs exactly one key (or -all)")
+	}
+	key, err := store.ParseKey(args[0])
+	if err != nil {
+		return err
+	}
+	if err := st.Push(key); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "pushed %s\n", key)
+	return nil
+}
+
+// runPull promotes one cold object into the hot tier (a no-op when it
+// is already local).
+func runPull(st *store.Store, args []string, w io.Writer) error {
+	if st.Remote() == nil {
+		return fmt.Errorf("pull needs -remote-store")
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("pull needs exactly one key")
+	}
+	key, err := store.ParseKey(args[0])
+	if err != nil {
+		return err
+	}
+	info, ok, err := st.Pull(key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("pull %s: not in either tier", key)
+	}
+	fmt.Fprintf(w, "pulled %s  %d bytes  %d edges\n", info.Key, info.Size, info.Edges)
+	return nil
+}
+
+// runTiers prints the union of both tiers with each object's location:
+// local, remote, or local+remote.
+func runTiers(st *store.Store, w io.Writer) error {
+	if st.Remote() == nil {
+		return fmt.Errorf("tiers needs -remote-store")
+	}
+	type row struct {
+		size          int64
+		local, remote bool
+	}
+	rows := make(map[string]*row)
+	for _, info := range st.List() {
+		rows[info.Key.String()] = &row{size: info.Size, local: true}
+	}
+	remotes, err := st.RemoteList()
+	if err != nil {
+		return err
+	}
+	for _, e := range remotes {
+		if r, ok := rows[e.Key.String()]; ok {
+			r.remote = true
+		} else {
+			rows[e.Key.String()] = &row{size: e.Side.Size, remote: true}
+		}
+	}
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var nLocal, nRemote int
+	for _, k := range keys {
+		r := rows[k]
+		if r.local {
+			nLocal++
+		}
+		if r.remote {
+			nRemote++
+		}
+		loc := "local"
+		switch {
+		case r.local && r.remote:
+			loc = "local+remote"
+		case r.remote:
+			loc = "remote"
+		}
+		fmt.Fprintf(w, "%s  %12d bytes  %s\n", k, r.size, loc)
+	}
+	fmt.Fprintf(w, "%d objects (%d local, %d remote)\n", len(rows), nLocal, nRemote)
 	return nil
 }

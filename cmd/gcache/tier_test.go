@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGcacheLsJSONGolden pins the byte-stable `ls -json` output for a
+// fixed three-object store. Keys, sizes and edge counts are pure
+// functions of the seed inputs, so the bytes are identical on every
+// run and platform. Refresh with: go test ./cmd/gcache -run Golden -update
+func TestGcacheLsJSONGolden(t *testing.T) {
+	dir, keys := seedStore(t, 3)
+	runOK(t, "-dir", dir, "pin", keys[1].String())
+
+	got := runOK(t, "-dir", dir, "ls", "-json")
+	golden := filepath.Join("testdata", "ls_json.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("ls -json drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Byte-stable means run-to-run identical too.
+	if again := runOK(t, "-dir", dir, "ls", "-json"); again != got {
+		t.Fatal("ls -json output differs between runs")
+	}
+}
+
+// TestGcachePushPullTiers drives the tier-moving subcommands against a
+// directory cold tier.
+func TestGcachePushPullTiers(t *testing.T) {
+	dir, keys := seedStore(t, 2)
+	cold := filepath.Join(t.TempDir(), "cold")
+
+	// Tier commands without a remote are refused.
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "tiers"}, &out); err == nil {
+		t.Fatal("tiers without -remote-store succeeded")
+	}
+
+	remoteArgs := []string{"-dir", dir, "-remote-store", cold}
+	if got := runOK(t, append(remoteArgs, "push", keys[0].String())...); !strings.Contains(got, "pushed "+keys[0].String()) {
+		t.Fatalf("push output:\n%s", got)
+	}
+	tiers := runOK(t, append(remoteArgs, "tiers")...)
+	if !strings.Contains(tiers, keys[0].String()+"  ") || !strings.Contains(tiers, "local+remote") {
+		t.Fatalf("tiers after push:\n%s", tiers)
+	}
+	if !strings.Contains(tiers, "2 objects (2 local, 1 remote)") {
+		t.Fatalf("tiers summary:\n%s", tiers)
+	}
+
+	// Evict the pushed object locally; it shows as remote-only, and
+	// pull brings it back.
+	runOK(t, append(remoteArgs, "gc", "-target", "100")...)
+	tiers = runOK(t, append(remoteArgs, "tiers")...)
+	if !strings.Contains(tiers, "remote") || strings.Contains(tiers, "local+remote") {
+		t.Fatalf("tiers after gc:\n%s", tiers)
+	}
+	if got := runOK(t, append(remoteArgs, "pull", keys[0].String())...); !strings.Contains(got, "pulled "+keys[0].String()) {
+		t.Fatalf("pull output:\n%s", got)
+	}
+	tiers = runOK(t, append(remoteArgs, "tiers")...)
+	if !strings.Contains(tiers, "local+remote") {
+		t.Fatalf("tiers after pull:\n%s", tiers)
+	}
+
+	// push -all uploads the rest.
+	if got := runOK(t, append(remoteArgs, "push", "-all")...); !strings.Contains(got, "pushed 2 objects") {
+		t.Fatalf("push -all output:\n%s", got)
+	}
+	tiers = runOK(t, append(remoteArgs, "tiers")...)
+	if !strings.Contains(tiers, "2 objects (2 local, 2 remote)") {
+		t.Fatalf("tiers after push -all:\n%s", tiers)
+	}
+}

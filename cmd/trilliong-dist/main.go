@@ -45,6 +45,7 @@ import (
 	"strconv"
 	"strings"
 
+	trilliong "repro"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/faultpoint"
@@ -80,6 +81,7 @@ func main() {
 		maxDials    = flag.Int("max-dials", 0, "worker: consecutive failed connection attempts before giving up (0 = 10)")
 		storeDir    = flag.String("store", "", "worker: artifact store directory (cached ranges are copied, not regenerated)")
 		storeMax    = flag.Int64("store-max-bytes", 0, "worker: store size budget in bytes (0 = unbounded)")
+		remoteSpec  = flag.String("remote-store", "", "worker: cold tier behind -store: s3://bucket[/prefix]?endpoint=URL or a directory path")
 		withPres    = flag.Bool("pressure", false, "worker: sample host pressure and advertise it in heartbeats so the master routes fresh ranges to cooler machines")
 		masterless  = flag.Bool("masterless", false, "run as a swarm worker: no master, schedule derived from the job flags, rendezvous through the shared -out dir/-store (ignores -role)")
 		swarmID     = flag.Uint64("swarm-id", 0, "masterless: worker identity steering collision avoidance (0 = random)")
@@ -130,13 +132,9 @@ func main() {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
 		}
-		var st *store.Store
-		if *storeDir != "" {
-			var err error
-			st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax, Telemetry: tel})
-			if err != nil {
-				fatal(err)
-			}
+		st, err := openWorkerStore(*storeDir, *storeMax, *remoteSpec, tel)
+		if err != nil {
+			fatal(err)
 		}
 		var ctrl *pressure.Controller
 		if *withPres {
@@ -208,13 +206,9 @@ func main() {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
 		}
-		var st *store.Store
-		if *storeDir != "" {
-			var err error
-			st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax, Telemetry: tel})
-			if err != nil {
-				fatal(err)
-			}
+		st, err := openWorkerStore(*storeDir, *storeMax, *remoteSpec, tel)
+		if err != nil {
+			fatal(err)
 		}
 		var ctrl *pressure.Controller
 		if *withPres {
@@ -241,6 +235,22 @@ func main() {
 // telemetry as Prometheus text on /metrics and expvar-style JSON on
 // /debug/vars, plus (opt-in) the pprof endpoints. It runs for the life
 // of the process; generation traffic stays on the main port.
+// openWorkerStore opens the worker's artifact store with an optional
+// cold tier behind it ("" dir = no store at all).
+func openWorkerStore(dir string, maxBytes int64, remoteSpec string, tel *telemetry.Registry) (*store.Store, error) {
+	if dir == "" {
+		if remoteSpec != "" {
+			return nil, fmt.Errorf("-remote-store requires -store (the local hot tier)")
+		}
+		return nil, nil
+	}
+	remote, err := trilliong.OpenStoreBackend(remoteSpec, tel)
+	if err != nil {
+		return nil, fmt.Errorf("-remote-store: %w", err)
+	}
+	return store.Open(dir, store.Options{MaxBytes: maxBytes, Telemetry: tel, Remote: remote})
+}
+
 func serveMetrics(addr string, tel *telemetry.Registry, withPprof bool) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -54,6 +54,8 @@ type options struct {
 	storeDir       string
 	storeMax       int64
 	spoolDir       string
+	remoteStore    string
+	presignTTL     time.Duration
 	tenantSpecs    multiFlag
 	tenantDefaults string
 	pressure       bool
@@ -80,6 +82,8 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.storeDir, "store-dir", "", "artifact store directory: cache streamed artifacts, enable /download")
 	fs.Int64Var(&o.storeMax, "store-max-bytes", 0, "store size budget in bytes (0 = unbounded)")
 	fs.StringVar(&o.spoolDir, "spool-dir", "", "staging directory for in-flight artifact copies (default: inside the store)")
+	fs.StringVar(&o.remoteStore, "remote-store", "", "cold tier behind the store: s3://bucket[/prefix]?endpoint=URL or a directory path (requires -store-dir)")
+	fs.DurationVar(&o.presignTTL, "presign-ttl", 15*time.Minute, "with an S3 -remote-store: /download answers 302 to a presigned URL valid this long for remote-only artifacts (0 = always stream locally)")
 	fs.Var(&o.tenantSpecs, "tenant", "per-tenant scheduling limits, repeatable: name[,weight=N,rate=F,burst=F,max-active=N,max-queued=N|none,ttl=D]")
 	fs.StringVar(&o.tenantDefaults, "tenant-defaults", "", "limits for tenants without a -tenant entry (same key=value list)")
 	fs.BoolVar(&o.pressure, "pressure", false, "sample host pressure and degrade under load: shrink streams, pause background jobs, flip /readyz")
@@ -103,6 +107,12 @@ func (o *options) validate() error {
 	}
 	if (o.pressureEvery != 0 || o.memBudget != 0) && !o.pressure {
 		return fmt.Errorf("-pressure-interval and -mem-budget-bytes require -pressure")
+	}
+	if o.remoteStore != "" && o.storeDir == "" {
+		return fmt.Errorf("-remote-store requires -store-dir (the local hot tier)")
+	}
+	if o.presignTTL < 0 {
+		return fmt.Errorf("-presign-ttl must not be negative")
 	}
 	if _, err := o.tenants(); err != nil {
 		return err
@@ -161,15 +171,23 @@ func (o *options) newService() (*trilliong.Server, error) {
 		},
 	})
 	if o.storeDir != "" {
+		remote, err := trilliong.OpenStoreBackend(o.remoteStore, svc.Telemetry())
+		if err != nil {
+			return nil, fmt.Errorf("-remote-store: %w", err)
+		}
 		st, err := trilliong.OpenStore(o.storeDir, trilliong.StoreOptions{
 			MaxBytes:  o.storeMax,
 			Telemetry: svc.Telemetry(),
+			Remote:    remote,
 		})
 		if err != nil {
 			return nil, err
 		}
 		if err := svc.SetStore(st, o.spoolDir); err != nil {
 			return nil, err
+		}
+		if remote != nil {
+			svc.SetPresignTTL(o.presignTTL)
 		}
 	}
 	return svc, nil

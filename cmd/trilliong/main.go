@@ -38,9 +38,13 @@ func main() {
 		resume     = flag.Bool("resume", false, "atomic part files; skip parts that already exist")
 		storeDir   = flag.String("store", "", "artifact store directory: cache parts across runs (implies -resume)")
 		storeMax   = flag.Int64("store-max-bytes", 0, "store size budget in bytes (0 = unbounded); excess evicted LRU")
+		remoteSpec = flag.String("remote-store", "", "cold tier behind -store: s3://bucket[/prefix]?endpoint=URL or a directory path")
 	)
 	flag.Parse()
 
+	if *remoteSpec != "" && *storeDir == "" {
+		fatal(fmt.Errorf("-remote-store requires -store (the local hot tier)"))
+	}
 	seed, err := parseSeed(*seedSpec)
 	if err != nil {
 		fatal(err)
@@ -87,7 +91,11 @@ func main() {
 			fatal(err)
 		}
 		if *storeDir != "" {
-			cache, err = trilliong.OpenStore(*storeDir, trilliong.StoreOptions{MaxBytes: *storeMax})
+			remote, rerr := trilliong.OpenStoreBackend(*remoteSpec, nil)
+			if rerr != nil {
+				fatal(fmt.Errorf("-remote-store: %w", rerr))
+			}
+			cache, err = trilliong.OpenStore(*storeDir, trilliong.StoreOptions{MaxBytes: *storeMax, Remote: remote})
 			if err != nil {
 				fatal(err)
 			}

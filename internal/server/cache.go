@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/gformat"
@@ -13,6 +14,50 @@ import (
 	"repro/internal/pressure"
 	"repro/internal/store"
 )
+
+// Metric names the server's cache plumbing publishes
+// (docs/OBSERVABILITY.md is the catalog).
+const (
+	// MetricSpoolSwept counts stale spool temp files removed when a
+	// store is attached — leftovers of streams cut mid-copy in an
+	// earlier process life.
+	MetricSpoolSwept = "server.spool_swept_total"
+	// MetricPresignRedirects counts downloads answered with a 302 to a
+	// presigned cold-tier URL instead of a local stream.
+	MetricPresignRedirects = "server.presign_redirects_total"
+)
+
+// spoolPrefixes are the temp-file name prefixes the cache plumbing
+// creates in the spool directory: store hits replayed into streams,
+// whole-file downloads, and generation tees. Anything with one of
+// these names that exists when a store is attached is an orphan of a
+// previous process life.
+var spoolPrefixes = []string{"hit-", "dl-", "gen-"}
+
+// sweepSpool removes stale spool temps and reports how many. A crash
+// or kill mid-stream leaks them (the deferred removes never ran), and
+// they can hold artifact-sized payloads, so attach-time is the moment
+// to reclaim the space: nothing is in flight yet, so every matching
+// name is garbage.
+func sweepSpool(dir string) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	swept := 0
+	for _, de := range entries {
+		name := de.Name()
+		for _, prefix := range spoolPrefixes {
+			if strings.HasPrefix(name, prefix) {
+				if os.Remove(filepath.Join(dir, name)) == nil {
+					swept++
+				}
+				break
+			}
+		}
+	}
+	return swept
+}
 
 // SetStore attaches a content-addressed artifact store to the server:
 // streams are satisfied from it when the job's (config, range, format)
@@ -29,6 +74,9 @@ func (s *Server) SetStore(st *store.Store, spoolDir string) error {
 	}
 	if err := os.MkdirAll(spoolDir, 0o755); err != nil {
 		return fmt.Errorf("server: spool dir: %w", err)
+	}
+	if n := sweepSpool(spoolDir); n > 0 {
+		s.metrics.tel.Counter(MetricSpoolSwept).Add(int64(n))
 	}
 	s.store = st
 	s.spoolDir = spoolDir
@@ -138,6 +186,27 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no artifact store configured")
 		return
 	}
+	key := jobKey(job)
+
+	// Zero-copy delivery: when the artifact lives only in the cold tier
+	// and the backend can mint presigned URLs, redirect the client to
+	// the object store instead of pulling the payload through this
+	// process. Any trouble on this path (backend unreachable, presign
+	// unsupported) falls through to the local stream below, which
+	// promotes the object and serves it — correctness never depends on
+	// the redirect.
+	if s.presignTTL > 0 {
+		if local, _, _ := s.store.Location(key); !local {
+			if u, ok, err := s.store.PresignGet(key, s.presignTTL); err == nil && ok {
+				s.metrics.tel.Counter(MetricPresignRedirects).Inc()
+				w.Header().Set("X-Trilliong-Cache", "remote")
+				w.Header().Set("X-Trilliong-Job-Id", job.ID)
+				http.Redirect(w, r, u, http.StatusFound)
+				return
+			}
+		}
+	}
+
 	spool, err := os.CreateTemp(s.spoolDir, "dl-*")
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "spool: %v", err)
@@ -148,7 +217,7 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 	os.Remove(spoolPath)
 	defer os.Remove(spoolPath)
 
-	info, ok, err := s.store.Retrieve(jobKey(job), spoolPath)
+	info, ok, err := s.store.Retrieve(key, spoolPath)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "store: %v", err)
 		return

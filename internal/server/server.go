@@ -118,9 +118,11 @@ type Server struct {
 
 	// store, when set via SetStore, caches completed job artifacts and
 	// satisfies repeat jobs without regeneration; spoolDir stages
-	// in-flight copies.
-	store    *store.Store
-	spoolDir string
+	// in-flight copies. presignTTL, when positive, lets /download
+	// answer with a 302 to a presigned cold-tier URL valid that long.
+	store      *store.Store
+	spoolDir   string
+	presignTTL time.Duration
 
 	// pressure is the host-pressure controller (nil unless
 	// Options.EnablePressure).
@@ -174,6 +176,14 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Telemetry returns the server's metrics registry — the backing store
 // of /debug/vars and /metrics.
 func (s *Server) Telemetry() *telemetry.Registry { return s.metrics.tel }
+
+// SetPresignTTL enables presigned cold-tier downloads: when positive
+// and the attached store's backend can mint presigned URLs, GET
+// /v1/jobs/{id}/download answers with a 302 to a URL valid for ttl
+// whenever the artifact is remote-only, instead of pulling it through
+// this process. Zero (the default) always streams locally. Call before
+// serving requests, alongside SetStore.
+func (s *Server) SetPresignTTL(ttl time.Duration) { s.presignTTL = ttl }
 
 // Pressure returns the server's host-pressure controller (nil unless
 // Options.EnablePressure). Callers own background sampling: start it

@@ -1,0 +1,261 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Backend is a cold tier behind the local store: a flat object space
+// addressed by artifact Key, holding verified payload+sidecar pairs.
+// The local Store demotes evicted entries into a Backend instead of
+// deleting them and falls through to it on a local miss, so a byte
+// budget bounds the hot tier without ever losing data.
+//
+// The contract mirrors the local object discipline:
+//
+//   - Put uploads the payload and then its sidecar; an object without a
+//     readable sidecar does not exist. Put with a key that is already
+//     present overwrites with identical bytes (keys are content
+//     addresses), so concurrent writers cannot conflict.
+//   - Get and Head report (zero, false, nil) for an absent object;
+//     errors are reserved for transport failures the caller may retry.
+//   - Readers re-hash every payload against the sidecar (the Store does
+//     this for Backend reads exactly as for local ones), so a backend
+//     is trusted for availability, never for integrity.
+//
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	// Put uploads the payload read from r (side.Size bytes) and records
+	// side as the object's sidecar.
+	Put(key Key, r io.Reader, side Sidecar) error
+	// Get streams the object's payload into w and returns its sidecar.
+	// An absent object is (Sidecar{}, false, nil), and nothing is
+	// written to w.
+	Get(key Key, w io.Writer) (Sidecar, bool, error)
+	// Head returns the object's sidecar without transferring the
+	// payload. An absent object is (Sidecar{}, false, nil).
+	Head(key Key) (Sidecar, bool, error)
+	// Delete removes the object; deleting an absent object is nil.
+	Delete(key Key) error
+	// List snapshots every stored object, sorted by key.
+	List() ([]BackendEntry, error)
+}
+
+// Presigner is implemented by backends that can mint time-limited
+// direct-download URLs for an object — the zero-copy delivery path:
+// the server hands a client the URL and the object store serves the
+// bytes.
+type Presigner interface {
+	PresignGet(key Key, ttl time.Duration) (string, error)
+}
+
+// BackendEntry is one object in a Backend listing.
+type BackendEntry struct {
+	Key  Key
+	Side Sidecar
+}
+
+// ParseSidecar decodes and validates a sidecar record as stored on
+// disk or in a backend object.
+func ParseSidecar(b []byte) (Sidecar, error) {
+	var side Sidecar
+	if err := json.Unmarshal(b, &side); err != nil {
+		return Sidecar{}, err
+	}
+	if side.Schema != sidecarSchema || side.Size < 0 {
+		return Sidecar{}, fmt.Errorf("store: sidecar has schema %q", side.Schema)
+	}
+	return side, nil
+}
+
+// Encode renders the sidecar in its canonical stored form (JSON, one
+// trailing newline).
+func (side Sidecar) Encode() []byte {
+	b, err := json.Marshal(side)
+	if err != nil {
+		// Sidecar is a flat struct of strings and integers; Marshal
+		// cannot fail on it.
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// ObjectSuffixes are the object-name suffixes a backend stores per
+// artifact: the payload and its checksum sidecar. Remote layouts
+// mirror the local objects/ tree, so a backend bucket is inspectable
+// with the same eyes as a local store directory.
+const (
+	PayloadSuffix = ".part"
+	SidecarSuffix = ".sum"
+)
+
+// ObjectName returns the backend-relative name of one of key's
+// objects: "<dd>/<digest><suffix>", the same two-level fan-out the
+// local tree uses.
+func ObjectName(key Key, suffix string) string {
+	return key.digest[:2] + "/" + key.digest + suffix
+}
+
+// KeyFromObjectName inverts ObjectName, accepting either object of a
+// pair; ok is false for names that are not store objects.
+func KeyFromObjectName(name string) (key Key, suffix string, ok bool) {
+	base := name
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		base = name[i+1:]
+	}
+	for _, suf := range []string{PayloadSuffix, SidecarSuffix} {
+		if strings.HasSuffix(base, suf) {
+			k, err := ParseKey(strings.TrimSuffix(base, suf))
+			if err != nil {
+				return Key{}, "", false
+			}
+			return k, suf, true
+		}
+	}
+	return Key{}, "", false
+}
+
+// DirBackend is a Backend over a plain directory — a mounted NFS
+// export, a shared scratch disk, or a test double for the remote tier.
+// It follows the same payload-then-sidecar write order and temp+rename
+// atomicity as the local store, so a crash mid-Put leaves garbage a
+// later Put overwrites, never a readable half-object.
+type DirBackend struct {
+	root string
+}
+
+// NewDirBackend opens (creating if needed) a directory-backed cold
+// tier rooted at dir.
+func NewDirBackend(dir string) (*DirBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: dir backend: %w", err)
+	}
+	return &DirBackend{root: dir}, nil
+}
+
+// Dir returns the backend's root directory.
+func (d *DirBackend) Dir() string { return d.root }
+
+func (d *DirBackend) path(key Key, suffix string) string {
+	return filepath.Join(d.root, filepath.FromSlash(ObjectName(key, suffix)))
+}
+
+// Put implements Backend.
+func (d *DirBackend) Put(key Key, r io.Reader, side Sidecar) error {
+	bucket := filepath.Dir(d.path(key, PayloadSuffix))
+	if err := os.MkdirAll(bucket, 0o755); err != nil {
+		return fmt.Errorf("store: dir backend: %w", err)
+	}
+	tmp, err := os.CreateTemp(bucket, ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: dir backend: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	_, err = io.Copy(tmp, r)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: dir backend: %w", err)
+	}
+	sideTmp, err := writeTempFile(bucket, ".sum-*", side.Encode())
+	if err != nil {
+		return fmt.Errorf("store: dir backend: %w", err)
+	}
+	defer os.Remove(sideTmp)
+	if err := os.Rename(tmpName, d.path(key, PayloadSuffix)); err != nil {
+		return fmt.Errorf("store: dir backend: %w", err)
+	}
+	if err := os.Rename(sideTmp, d.path(key, SidecarSuffix)); err != nil {
+		return fmt.Errorf("store: dir backend: %w", err)
+	}
+	return syncDir(bucket)
+}
+
+// Get implements Backend.
+func (d *DirBackend) Get(key Key, w io.Writer) (Sidecar, bool, error) {
+	side, ok, err := d.Head(key)
+	if err != nil || !ok {
+		return Sidecar{}, false, err
+	}
+	f, err := os.Open(d.path(key, PayloadSuffix))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Sidecar{}, false, nil
+		}
+		return Sidecar{}, false, fmt.Errorf("store: dir backend: %w", err)
+	}
+	defer f.Close()
+	if _, err := io.Copy(w, f); err != nil {
+		return Sidecar{}, false, fmt.Errorf("store: dir backend: %w", err)
+	}
+	return side, true, nil
+}
+
+// Head implements Backend.
+func (d *DirBackend) Head(key Key) (Sidecar, bool, error) {
+	b, err := os.ReadFile(d.path(key, SidecarSuffix))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Sidecar{}, false, nil
+		}
+		return Sidecar{}, false, fmt.Errorf("store: dir backend: %w", err)
+	}
+	side, err := ParseSidecar(b)
+	if err != nil {
+		// A torn sidecar means the object does not exist yet (or was
+		// damaged); either way it is not servable.
+		return Sidecar{}, false, nil
+	}
+	return side, true, nil
+}
+
+// Delete implements Backend.
+func (d *DirBackend) Delete(key Key) error {
+	var errs []string
+	for _, suf := range []string{SidecarSuffix, PayloadSuffix} {
+		if err := os.Remove(d.path(key, suf)); err != nil && !os.IsNotExist(err) {
+			errs = append(errs, err.Error())
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("store: dir backend: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// List implements Backend.
+func (d *DirBackend) List() ([]BackendEntry, error) {
+	var out []BackendEntry
+	err := filepath.WalkDir(d.root, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() || !strings.HasSuffix(path, SidecarSuffix) {
+			return err
+		}
+		key, _, ok := KeyFromObjectName(filepath.ToSlash(path))
+		if !ok {
+			return nil
+		}
+		side, ok, herr := d.Head(key)
+		if herr != nil || !ok {
+			return herr
+		}
+		out = append(out, BackendEntry{Key: key, Side: side})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: dir backend: %w", err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.digest < out[j].Key.digest })
+	return out, nil
+}

@@ -1,0 +1,408 @@
+package s3
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// FakeServer is an in-memory S3-compatible server implementing the
+// subset of the protocol the Client speaks: path-style object
+// PUT/GET/HEAD/DELETE, ListObjectsV2 with pagination, multipart
+// uploads, and (optionally) SigV4 verification of both header-signed
+// and presigned requests. It is an http.Handler — wrap it in
+// httptest.NewServer for tests or an http.Server for the fake-s3 CLI.
+//
+// Fault knobs make remote failure deterministic in tests: FailNext
+// makes the next n requests return 500, TornGetNext makes the next n
+// object GETs truncate the body mid-stream, and Delay stalls every
+// request.
+type FakeServer struct {
+	// Access/Secret, when Secret is non-empty, switch on SigV4
+	// verification: unsigned or wrongly-signed requests get 403.
+	Access string
+	Secret string
+	// Region participates in signature verification ("" = us-east-1).
+	Region string
+	// PageSize caps keys per ListObjectsV2 page (0 = 1000), letting
+	// tests force pagination with few objects.
+	PageSize int
+	// Delay stalls every request before handling (slow-remote
+	// simulation).
+	Delay time.Duration
+
+	mu       sync.Mutex
+	objects  map[string]map[string][]byte // bucket -> key -> bytes
+	uploads  map[string]*fakeUpload       // uploadID -> state
+	nextID   int
+	failNext int
+	tornNext int
+
+	requests atomic.Int64
+}
+
+type fakeUpload struct {
+	bucket string
+	key    string
+	parts  map[int][]byte
+}
+
+// NewFakeServer returns an empty fake with no auth and no faults.
+func NewFakeServer() *FakeServer {
+	return &FakeServer{
+		objects: make(map[string]map[string][]byte),
+		uploads: make(map[string]*fakeUpload),
+	}
+}
+
+// FailNext makes the next n requests fail with 500.
+func (f *FakeServer) FailNext(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failNext = n
+}
+
+// TornGetNext makes the next n object GETs truncate mid-body: the
+// response advertises the full Content-Length, sends half, and drops
+// the connection.
+func (f *FakeServer) TornGetNext(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tornNext = n
+}
+
+// Requests reports how many requests the fake has served (including
+// injected failures).
+func (f *FakeServer) Requests() int64 { return f.requests.Load() }
+
+// Object returns a stored object's bytes (tests poke at remote state
+// directly).
+func (f *FakeServer) Object(bucket, key string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.objects[bucket][key]
+	return b, ok
+}
+
+// PutObject seeds or overwrites an object directly (tests corrupt
+// remote state without going through the API).
+func (f *FakeServer) PutObject(bucket, key string, b []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.objects[bucket] == nil {
+		f.objects[bucket] = make(map[string][]byte)
+	}
+	f.objects[bucket][key] = append([]byte(nil), b...)
+}
+
+// OpenUploads reports in-flight multipart uploads (tests assert aborts
+// cleaned up).
+func (f *FakeServer) OpenUploads() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.uploads)
+}
+
+func (f *FakeServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.requests.Add(1)
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	f.mu.Lock()
+	if f.failNext > 0 {
+		f.failNext--
+		f.mu.Unlock()
+		http.Error(w, "<Error><Code>InternalError</Code></Error>", http.StatusInternalServerError)
+		return
+	}
+	f.mu.Unlock()
+
+	if f.Secret != "" && !f.verifyAuth(r) {
+		http.Error(w, "<Error><Code>SignatureDoesNotMatch</Code></Error>", http.StatusForbidden)
+		return
+	}
+
+	bucket, key := splitPath(r.URL.Path)
+	if bucket == "" {
+		http.Error(w, "missing bucket", http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	switch {
+	case key == "" && r.Method == http.MethodGet:
+		f.handleList(w, bucket, q)
+	case r.Method == http.MethodPost && hasQuery(q, "uploads"):
+		f.handleInitiateMultipart(w, bucket, key)
+	case r.Method == http.MethodPut && q.Get("uploadId") != "":
+		f.handleUploadPart(w, r, q)
+	case r.Method == http.MethodPost && q.Get("uploadId") != "":
+		f.handleCompleteMultipart(w, r, q)
+	case r.Method == http.MethodDelete && q.Get("uploadId") != "":
+		f.handleAbortMultipart(w, q)
+	case r.Method == http.MethodPut:
+		f.handlePut(w, r, bucket, key)
+	case r.Method == http.MethodGet, r.Method == http.MethodHead:
+		f.handleGet(w, r, bucket, key)
+	case r.Method == http.MethodDelete:
+		f.handleDelete(w, bucket, key)
+	default:
+		http.Error(w, "unsupported", http.StatusMethodNotAllowed)
+	}
+}
+
+func splitPath(p string) (bucket, key string) {
+	p = strings.TrimPrefix(p, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i], p[i+1:]
+	}
+	return p, ""
+}
+
+func hasQuery(q url.Values, name string) bool {
+	_, ok := q[name]
+	return ok
+}
+
+// verifyAuth recomputes the request's SigV4 signature — header
+// authorization or presigned query — and compares.
+func (f *FakeServer) verifyAuth(r *http.Request) bool {
+	region := f.Region
+	if region == "" {
+		region = "us-east-1"
+	}
+	sg := signer{access: f.Access, secret: f.Secret, region: region}
+	q := r.URL.Query()
+	if sig := q.Get("X-Amz-Signature"); sig != "" {
+		// Presigned: rebuild the canonical request without the
+		// signature parameter.
+		qq := url.Values{}
+		for k, vs := range q {
+			if k == "X-Amz-Signature" {
+				continue
+			}
+			qq[k] = vs
+		}
+		t, err := time.Parse(timeFormat, q.Get("X-Amz-Date"))
+		if err != nil {
+			return false
+		}
+		if secs, err := strconv.ParseInt(q.Get("X-Amz-Expires"), 10, 64); err != nil ||
+			time.Now().UTC().After(t.Add(time.Duration(secs)*time.Second)) {
+			return false
+		}
+		canonical := strings.Join([]string{
+			r.Method,
+			uriEncode(r.URL.Path, true),
+			canonicalQuery(qq),
+			"host:" + r.Host + "\n",
+			"host",
+			unsignedPayload,
+		}, "\n")
+		want := hmacSHA256(sg.signingKey(t.Format("20060102")), sg.stringToSign(t, canonical))
+		return sig == fmt.Sprintf("%x", want)
+	}
+
+	auth := r.Header.Get("Authorization")
+	if auth == "" {
+		return false
+	}
+	t, err := time.Parse(timeFormat, r.Header.Get("X-Amz-Date"))
+	if err != nil {
+		return false
+	}
+	// Re-sign a skeleton request carrying the same signed inputs and
+	// compare the resulting Authorization header verbatim.
+	clone := &http.Request{
+		Method: r.Method,
+		URL:    r.URL,
+		Host:   r.Host,
+		Header: http.Header{},
+	}
+	if rg := r.Header.Get("Range"); rg != "" {
+		clone.Header.Set("Range", rg)
+	}
+	sg.sign(clone, r.Header.Get("X-Amz-Content-Sha256"), t)
+	return clone.Header.Get("Authorization") == auth
+}
+
+func (f *FakeServer) handlePut(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	b, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f.PutObject(bucket, key, b)
+	w.Header().Set("ETag", `"`+sha256Hex(b)[:32]+`"`)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (f *FakeServer) handleGet(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	f.mu.Lock()
+	b, ok := f.objects[bucket][key]
+	torn := false
+	// Torn reads target payload objects: sidecar fetches are tiny and
+	// uninteresting to truncate.
+	if ok && r.Method == http.MethodGet && f.tornNext > 0 && strings.HasSuffix(key, store.PayloadSuffix) {
+		f.tornNext--
+		torn = true
+	}
+	f.mu.Unlock()
+	if !ok {
+		http.Error(w, "<Error><Code>NoSuchKey</Code></Error>", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(http.StatusOK)
+	if r.Method == http.MethodHead {
+		return
+	}
+	if torn {
+		// Half the body, then the connection drops: the advertised
+		// Content-Length never arrives and the client sees an
+		// unexpected EOF.
+		w.Write(b[:len(b)/2])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	w.Write(b)
+}
+
+func (f *FakeServer) handleDelete(w http.ResponseWriter, bucket, key string) {
+	f.mu.Lock()
+	delete(f.objects[bucket], key)
+	f.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (f *FakeServer) handleList(w http.ResponseWriter, bucket string, q url.Values) {
+	prefix := q.Get("prefix")
+	token := q.Get("continuation-token")
+	pageSize := f.PageSize
+	if pageSize <= 0 {
+		pageSize = 1000
+	}
+	f.mu.Lock()
+	var keys []string
+	for k := range f.objects[bucket] {
+		if strings.HasPrefix(k, prefix) && k > token {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	truncated := len(keys) > pageSize
+	if truncated {
+		keys = keys[:pageSize]
+	}
+	result := listBucketResult{IsTruncated: truncated}
+	if truncated {
+		result.NextContinuationToken = keys[len(keys)-1]
+	}
+	for _, k := range keys {
+		result.Contents = append(result.Contents, struct {
+			Key  string `xml:"Key"`
+			Size int64  `xml:"Size"`
+		}{Key: k, Size: int64(len(f.objects[bucket][k]))})
+	}
+	f.mu.Unlock()
+	writeXML(w, result)
+}
+
+func (f *FakeServer) handleInitiateMultipart(w http.ResponseWriter, bucket, key string) {
+	f.mu.Lock()
+	f.nextID++
+	id := fmt.Sprintf("upload-%d", f.nextID)
+	f.uploads[id] = &fakeUpload{bucket: bucket, key: key, parts: make(map[int][]byte)}
+	f.mu.Unlock()
+	writeXML(w, initiateMultipartResult{UploadID: id})
+}
+
+func (f *FakeServer) handleUploadPart(w http.ResponseWriter, r *http.Request, q url.Values) {
+	partNum, err := strconv.Atoi(q.Get("partNumber"))
+	if err != nil || partNum < 1 {
+		http.Error(w, "bad partNumber", http.StatusBadRequest)
+		return
+	}
+	b, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	up, ok := f.uploads[q.Get("uploadId")]
+	if ok {
+		up.parts[partNum] = b
+	}
+	f.mu.Unlock()
+	if !ok {
+		http.Error(w, "<Error><Code>NoSuchUpload</Code></Error>", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("ETag", `"`+sha256Hex(b)[:32]+`"`)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (f *FakeServer) handleCompleteMultipart(w http.ResponseWriter, r *http.Request, q url.Values) {
+	var req completeMultipartUpload
+	if err := xml.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	up, ok := f.uploads[q.Get("uploadId")]
+	if !ok {
+		f.mu.Unlock()
+		http.Error(w, "<Error><Code>NoSuchUpload</Code></Error>", http.StatusNotFound)
+		return
+	}
+	var body bytes.Buffer
+	for _, p := range req.Parts {
+		b, ok := up.parts[p.PartNumber]
+		if !ok {
+			f.mu.Unlock()
+			http.Error(w, "<Error><Code>InvalidPart</Code></Error>", http.StatusBadRequest)
+			return
+		}
+		body.Write(b)
+	}
+	delete(f.uploads, q.Get("uploadId"))
+	if f.objects[up.bucket] == nil {
+		f.objects[up.bucket] = make(map[string][]byte)
+	}
+	f.objects[up.bucket][up.key] = body.Bytes()
+	f.mu.Unlock()
+	writeXML(w, struct {
+		XMLName xml.Name `xml:"CompleteMultipartUploadResult"`
+		Key     string   `xml:"Key"`
+	}{Key: up.key})
+}
+
+func (f *FakeServer) handleAbortMultipart(w http.ResponseWriter, q url.Values) {
+	f.mu.Lock()
+	delete(f.uploads, q.Get("uploadId"))
+	f.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeXML(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/xml")
+	b, err := xml.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	io.WriteString(w, xml.Header)
+	w.Write(b)
+}

@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/gformat"
@@ -35,7 +36,9 @@ import (
 	"repro/internal/server"
 	"repro/internal/skg"
 	"repro/internal/store"
+	"repro/internal/store/s3"
 	"repro/internal/swarm"
+	"repro/internal/telemetry"
 )
 
 // Seed is the 2x2 stochastic seed matrix [A B; C D] (α, β, γ, δ in the
@@ -182,6 +185,32 @@ type StoreOptions = store.Options
 // dir.
 func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	return store.Open(dir, opts)
+}
+
+// StoreBackend is a pluggable cold tier behind a Store: evicted
+// entries demote into it instead of being deleted, and local misses
+// fall through to it. See internal/store.Backend and docs/STORE.md.
+type StoreBackend = store.Backend
+
+// OpenStoreBackend resolves a -remote-store spec into a cold-tier
+// backend:
+//
+//	s3://bucket[/prefix]?endpoint=URL[&region=R][&access-key=K&secret-key=S]
+//
+// dials an S3-compatible object store (credentials fall back to
+// AWS_ACCESS_KEY_ID / AWS_SECRET_ACCESS_KEY; absent means anonymous
+// requests). Any other non-empty spec is taken as a directory path —
+// an NFS export or shared scratch disk. tel receives the backend's
+// store.remote.* transport metrics and may be nil; spec "" returns
+// (nil, nil), keeping the store single-tier.
+func OpenStoreBackend(spec string, tel *telemetry.Registry) (StoreBackend, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(spec, "s3://") {
+		return s3.Open(spec, tel)
+	}
+	return store.NewDirBackend(spec)
 }
 
 // ResumeToDirCached is ResumeToDir backed by an artifact store: parts
