@@ -46,6 +46,7 @@ import (
 	"strings"
 
 	trilliong "repro"
+	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/faultpoint"
@@ -87,6 +88,7 @@ func main() {
 		swarmID     = flag.Uint64("swarm-id", 0, "masterless: worker identity steering collision avoidance (0 = random)")
 		scanEvery   = flag.Duration("scan-interval", 0, "masterless: settle wait before stealing straggler parts (0 = 250ms)")
 		maxEpochs   = flag.Int("max-epochs", 0, "masterless: abort if parts are still missing after this many epochs (0 = unbounded)")
+		commSpec    = flag.String("community", "", "community spec JSON file: generate a community composition (master and masterless; blocks are the work units)")
 		faults      = flag.String("faultpoints", "", "arm fault injection, e.g. 'dist.worker.scope=crash*1' (also via "+faultpoint.EnvVar+")")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address")
 		withPprof   = flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof/")
@@ -114,20 +116,33 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		seed, err := parseSeed(*seedSpec)
-		if err != nil {
-			fatal(err)
-		}
-		cfg := core.DefaultConfig(*scale)
-		cfg.EdgeFactor = *edgeFactor
-		cfg.Seed = seed
-		cfg.NoiseParam = *noise
-		cfg.MasterSeed = *masterSeed
 		if *out == "" {
 			fatal(fmt.Errorf("masterless needs -out (the shared rendezvous directory)"))
 		}
-		if *parts < 1 {
-			fatal(fmt.Errorf("masterless needs -parts pinned (> 0): with no master, the file layout must not depend on who shows up"))
+		var src core.PartSource
+		if *commSpec != "" {
+			// The layout fixes the part count (one per block), so -parts
+			// need not — and must not — be pinned.
+			lay, err := loadCommunityLayout(*commSpec)
+			if err != nil {
+				fatal(err)
+			}
+			*parts = lay.NumBlocks()
+			src = lay
+		} else {
+			seed, err := parseSeed(*seedSpec)
+			if err != nil {
+				fatal(err)
+			}
+			cfg := core.DefaultConfig(*scale)
+			cfg.EdgeFactor = *edgeFactor
+			cfg.Seed = seed
+			cfg.NoiseParam = *noise
+			cfg.MasterSeed = *masterSeed
+			if *parts < 1 {
+				fatal(fmt.Errorf("masterless needs -parts pinned (> 0): with no master, the file layout must not depend on who shows up"))
+			}
+			src = core.NewConfigSource(cfg)
 		}
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
@@ -142,7 +157,7 @@ func main() {
 			stopSampling := ctrl.Start()
 			defer stopSampling()
 		}
-		sum, err := swarm.Run(cfg, *out, f, swarm.Options{
+		sum, err := swarm.RunJob(src, *out, f, swarm.Options{
 			Parts: *parts, WorkerID: *swarmID, Threads: *threads,
 			ScanInterval: *scanEvery, MaxEpochs: *maxEpochs,
 			Store: st, Pressure: ctrl, Telemetry: tel,
@@ -165,23 +180,37 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		seed, err := parseSeed(*seedSpec)
-		if err != nil {
-			fatal(err)
-		}
-		cfg := core.DefaultConfig(*scale)
-		cfg.EdgeFactor = *edgeFactor
-		cfg.Seed = seed
-		cfg.NoiseParam = *noise
-		cfg.MasterSeed = *masterSeed
-		m, err := dist.NewMaster(dist.MasterConfig{
+		mc := dist.MasterConfig{
 			Addr: *listen, Workers: *workers, MinWorkers: *minWorkers,
-			Parts: *parts, Config: cfg, Format: f,
+			Parts: *parts, Format: f,
 			AcceptTimeout: *acceptTO, HeartbeatInterval: *heartbeat,
 			ResultTimeout: *resultTO, MaxRetries: *maxRetries,
 			MaxLeaseRanges: *maxLease,
 			Telemetry:      tel,
-		})
+		}
+		var targetEdges int64
+		if *commSpec != "" {
+			lay, err := loadCommunityLayout(*commSpec)
+			if err != nil {
+				fatal(err)
+			}
+			ccfg := lay.Config()
+			mc.Community = &ccfg
+			targetEdges = lay.TotalEdges()
+		} else {
+			seed, err := parseSeed(*seedSpec)
+			if err != nil {
+				fatal(err)
+			}
+			cfg := core.DefaultConfig(*scale)
+			cfg.EdgeFactor = *edgeFactor
+			cfg.Seed = seed
+			cfg.NoiseParam = *noise
+			cfg.MasterSeed = *masterSeed
+			mc.Config = cfg
+			targetEdges = cfg.NumEdges()
+		}
+		m, err := dist.NewMaster(mc)
 		if err != nil {
 			fatal(err)
 		}
@@ -191,7 +220,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("workers          %d (%d threads, %d parts)\n", sum.Workers, sum.TotalThreads, sum.Parts)
-		fmt.Printf("edges            %d (target %d)\n", sum.Edges, cfg.NumEdges())
+		fmt.Printf("edges            %d (target %d)\n", sum.Edges, targetEdges)
 		fmt.Printf("max out-degree   %d\n", sum.MaxDegree)
 		fmt.Printf("bytes written    %d across workers\n", sum.BytesWritten)
 		if sum.Requeues > 0 || sum.SkippedParts > 0 {
@@ -269,6 +298,23 @@ func serveMetrics(addr string, tel *telemetry.Registry, withPprof bool) error {
 	fmt.Fprintf(os.Stderr, "trilliong-dist: metrics on http://%s/metrics\n", ln.Addr())
 	go http.Serve(ln, mux)
 	return nil
+}
+
+// loadCommunityLayout reads and resolves a community spec file.
+func loadCommunityLayout(path string) (*community.Layout, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := community.ParseSpec(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	lay, err := community.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return lay, nil
 }
 
 func parseSeed(spec string) (skg.Seed, error) {

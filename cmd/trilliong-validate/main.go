@@ -8,6 +8,7 @@
 //	trilliong-validate -scale 13 -noise 0.1 out/     # params from flags
 //	trilliong-validate -json out/ > report.json
 //	trilliong-validate -store /var/cache/trilliong -scale 13 -parts 4
+//	trilliong-validate -community spec.json out/     # community block densities
 //
 // The directory form streams every part-* file (format inferred per
 // file). Generation parameters come from the run manifest written by
@@ -16,6 +17,13 @@
 // cached artifact-store entries instead: the run's parts are
 // materialized from the store (every part must be cached) and
 // validated the same way.
+//
+// Community-composed output (trilliong -community and friends) is
+// validated against its layout: per-block edge densities, intra/inter
+// totals, and a stray-edge check that rejects output whose edges land
+// outside the planned blocks — a wrong mixing matrix fails here. The
+// spec comes from -community or, with no flag, from the run manifest
+// the community generators write.
 //
 // Exit status: 0 when the verdict is pass or warn, 1 when it is fail,
 // 2 on operational errors.
@@ -29,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/gformat"
 	"repro/internal/skg"
@@ -54,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parts      = fs.Int("parts", 0, "partition count of the cached run (-store mode)")
 		label      = fs.String("label", "", "report label (default: the validated path)")
 		jsonOut    = fs.Bool("json", false, "emit the full report as JSON")
+		commPath   = fs.String("community", "", "community spec JSON file: validate block densities against the layout (default: auto-detect from the run manifest)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,6 +73,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if (dir == "") == (*storeDir == "") {
 		fmt.Fprintln(stderr, "trilliong-validate: need exactly one of an output directory argument or -store")
 		return 2
+	}
+
+	var commRaw []byte
+	if *commPath != "" {
+		b, err := os.ReadFile(*commPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "trilliong-validate:", err)
+			return 2
+		}
+		commRaw = b
+	} else if dir != "" {
+		// Community runs record their resolved spec in the run manifest;
+		// classic runs (or manifest-less directories) don't, and fall
+		// through to the closed-form path below.
+		if src, _, _, err := core.ReadSourceSpec(dir); err == nil {
+			commRaw = src
+		}
+	}
+	if commRaw != nil {
+		if dir == "" {
+			fmt.Fprintln(stderr, "trilliong-validate: -community needs an output directory argument (not -store)")
+			return 2
+		}
+		return runCommunity(commRaw, dir, *label, *jsonOut, stdout, stderr)
 	}
 
 	set := map[string]bool{}
@@ -137,6 +171,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rep.Params = validate.ParamsFromConfig(cfg)
 
 	if *jsonOut {
+		b, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(stderr, "trilliong-validate:", err)
+			return 2
+		}
+		stdout.Write(b)
+	} else {
+		fmt.Fprint(stdout, rep.Summary())
+	}
+	if rep.Failed() {
+		return 1
+	}
+	return 0
+}
+
+// runCommunity validates a directory of community-composed parts
+// against the layout its spec resolves to: one consumption pass feeds
+// the degree accumulator and the per-block tally at once.
+func runCommunity(spec []byte, dir, label string, jsonOut bool, stdout, stderr io.Writer) int {
+	cfg, err := community.ParseSpec(spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "trilliong-validate:", err)
+		return 2
+	}
+	lay, err := community.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "trilliong-validate:", err)
+		return 2
+	}
+	acc := validate.NewAccumulator()
+	tally := validate.NewCommunityTally(lay)
+	acc.SetEdgeHook(tally.Observe)
+	if err := acc.ConsumeDir(dir); err != nil {
+		fmt.Fprintln(stderr, "trilliong-validate:", err)
+		return 2
+	}
+	if label == "" {
+		label = dir
+	}
+	rep := validate.EvaluateCommunity(lay, acc, tally, validate.DefaultThresholds(), nil, label)
+	if jsonOut {
 		b, err := rep.JSON()
 		if err != nil {
 			fmt.Fprintln(stderr, "trilliong-validate:", err)

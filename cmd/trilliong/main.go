@@ -7,9 +7,13 @@
 //	trilliong -scale 24 -noise 0.1 -format csr6 -workers 8 -out out/
 //	trilliong -scale 16 -seed 0.45,0.22,0.22,0.11 -format tsv -out out/
 //	trilliong -scale 22 -out out/ -store /var/cache/trilliong   # reruns hit the cache
+//	trilliong -community spec.json -format tsv -out out/        # community composition
 //
 // The output directory receives one part file per worker; the graph is
-// a pure function of (flags, -master), independent of -workers.
+// a pure function of (flags, -master), independent of -workers. With
+// -community the classic shape flags are ignored: the JSON spec is the
+// whole configuration, and the output is one part file per community
+// block, byte-identical across batch, distributed and masterless runs.
 package main
 
 import (
@@ -39,11 +43,16 @@ func main() {
 		storeDir   = flag.String("store", "", "artifact store directory: cache parts across runs (implies -resume)")
 		storeMax   = flag.Int64("store-max-bytes", 0, "store size budget in bytes (0 = unbounded); excess evicted LRU")
 		remoteSpec = flag.String("remote-store", "", "cold tier behind -store: s3://bucket[/prefix]?endpoint=URL or a directory path")
+		commSpec   = flag.String("community", "", "community spec JSON file: generate a community composition instead of the classic shape")
 	)
 	flag.Parse()
 
 	if *remoteSpec != "" && *storeDir == "" {
 		fatal(fmt.Errorf("-remote-store requires -store (the local hot tier)"))
+	}
+	if *commSpec != "" {
+		runCommunity(*commSpec, *format, *out, *storeDir, *storeMax, *remoteSpec)
+		return
 	}
 	seed, err := parseSeed(*seedSpec)
 	if err != nil {
@@ -118,6 +127,62 @@ func main() {
 	fmt.Printf("plan / generate  %v / %v\n", st.PlanDuration, st.GenDuration)
 	fmt.Printf("elapsed          %v\n", st.Elapsed)
 	fmt.Printf("peak worker mem  %d bytes (O(d_max))\n", st.PeakWorkerBytes)
+	if cache != nil {
+		cs := cache.Stats()
+		fmt.Printf("parts from cache %d\n", st.PartsFromCache)
+		fmt.Printf("store            %d objects, %d bytes (hits %d, misses %d, ingests %d)\n",
+			cs.Objects, cs.Bytes, cs.Hits, cs.Misses, cs.Ingests)
+	}
+}
+
+// runCommunity generates a community composition: one part file per
+// block, resumable, optionally store-backed.
+func runCommunity(specPath, format, out, storeDir string, storeMax int64, remoteSpec string) {
+	raw, err := os.ReadFile(specPath)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := trilliong.ParseCommunitySpec(raw)
+	if err != nil {
+		fatal(err)
+	}
+	lay, err := trilliong.NewCommunityLayout(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := trilliong.ParseFormat(format)
+	if err != nil {
+		fatal(err)
+	}
+	if out == "" {
+		fatal(fmt.Errorf("-out is required with -community"))
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		fatal(err)
+	}
+	var cache *trilliong.Store
+	if storeDir != "" {
+		remote, rerr := trilliong.OpenStoreBackend(remoteSpec, nil)
+		if rerr != nil {
+			fatal(fmt.Errorf("-remote-store: %w", rerr))
+		}
+		cache, err = trilliong.OpenStore(storeDir, trilliong.StoreOptions{MaxBytes: storeMax, Remote: remote})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	st, err := trilliong.GenerateCommunityToDir(lay, out, f, cache)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("communities      %d (|V| = %d)\n", len(lay.Sizes()), lay.NumVertices())
+	fmt.Printf("blocks           %d\n", lay.NumBlocks())
+	fmt.Printf("edges            %d (target %d)\n", st.Edges, lay.TotalEdges())
+	fmt.Printf("attempts         %d\n", st.Attempts)
+	fmt.Printf("max out-degree   %d\n", st.MaxDegree)
+	fmt.Printf("format           %s, %d bytes\n", f, st.BytesWritten)
+	fmt.Printf("plan / generate  %v / %v\n", st.PlanDuration, st.GenDuration)
+	fmt.Printf("elapsed          %v\n", st.Elapsed)
 	if cache != nil {
 		cs := cache.Stats()
 		fmt.Printf("parts from cache %d\n", st.PartsFromCache)

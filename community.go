@@ -1,0 +1,49 @@
+package trilliong
+
+import (
+	"repro/internal/community"
+)
+
+// CommunityConfig describes a community-composed graph: a partition of
+// the vertex space into communities (explicit sizes or a seeded
+// power-law sampler) and a mixing matrix apportioning the edge budget
+// over the k×k community blocks. See internal/community and
+// docs/COMMUNITY.md.
+type CommunityConfig = community.Config
+
+// CommunityLayout is a resolved community plan: concrete community
+// ranges, one block per positive mixing entry with its deterministic
+// seed and edge budget. The layout is a pure function of the config,
+// so batch, distributed and masterless runs of the same spec produce
+// bit-identical output.
+type CommunityLayout = community.Layout
+
+// CommunityRunOptions tunes community generation (artifact store,
+// telemetry).
+type CommunityRunOptions = community.RunOptions
+
+// ParseCommunitySpec decodes a JSON community spec (strict: unknown
+// fields are rejected).
+func ParseCommunitySpec(b []byte) (CommunityConfig, error) {
+	return community.ParseSpec(b)
+}
+
+// NewCommunityLayout resolves and validates a community config into a
+// layout.
+func NewCommunityLayout(cfg CommunityConfig) (*CommunityLayout, error) {
+	return community.New(cfg)
+}
+
+// BipartiteConfig is the two-community degenerate case: rows source
+// vertices, cols destination vertices, every edge in the single
+// off-diagonal block.
+func BipartiteConfig(rows, cols, edges int64, masterSeed uint64) CommunityConfig {
+	return community.Bipartite(rows, cols, edges, masterSeed)
+}
+
+// GenerateCommunityToDir generates the layout into dir with resume and
+// store semantics (one part file per block); see
+// community.Layout.GenerateToDir.
+func GenerateCommunityToDir(lay *CommunityLayout, dir string, format Format, st *Store) (Stats, error) {
+	return lay.GenerateToDir(dir, format, CommunityRunOptions{Store: st})
+}

@@ -1,0 +1,20 @@
+package community
+
+// Metric names the community composition publishes
+// (docs/OBSERVABILITY.md is the catalog).
+const (
+	// MetricCommunities gauges the resolved community count of the
+	// layout currently generating.
+	MetricCommunities = "community.communities"
+	// MetricBlocksPlanned gauges the planned block count (the part
+	// count of the layout).
+	MetricBlocksPlanned = "community.blocks_planned"
+	// MetricBlocksGenerated counts blocks generated to completion.
+	MetricBlocksGenerated = "community.blocks_generated_total"
+	// MetricIntraEdges counts edges generated inside diagonal
+	// (intra-community) blocks.
+	MetricIntraEdges = "community.intra_edges_total"
+	// MetricInterEdges counts edges generated in off-diagonal
+	// (inter-community) blocks.
+	MetricInterEdges = "community.inter_edges_total"
+)

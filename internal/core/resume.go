@@ -282,6 +282,11 @@ type resumeManifest struct {
 	Parts       int     `json:"parts"`
 	Format      string  `json:"format"`
 	Config      *Config `json:"config,omitempty"`
+	// Source is the opaque spec of a non-Config PartSource (the
+	// community composition records its resolved spec here). Core treats
+	// it as a black box: downstream tools that know the spec's schema —
+	// the statistical validator foremost — decode it themselves.
+	Source json.RawMessage `json:"source,omitempty"`
 }
 
 // matches compares the identity fields only: Config is informational
@@ -344,6 +349,46 @@ func EnsureRunManifest(dir string, cfg Config, format gformat.Format, parts int)
 	return checkOrWriteManifest(dir, cfg, format, parts)
 }
 
+// EnsureSourceManifest is EnsureRunManifest for a non-Config
+// PartSource: the manifest's identity is the source's fingerprint
+// (plus format and part count), and source — an opaque JSON spec of
+// the job, recorded verbatim — lets downstream tools recover what the
+// directory claims to be. ReadSourceSpec is the reader.
+func EnsureSourceManifest(dir, srcFingerprint string, source json.RawMessage, format gformat.Format, parts int) error {
+	want := resumeManifest{
+		Fingerprint: fmt.Sprintf("src=%s format=%v parts=%d", srcFingerprint, format, parts),
+		Parts:       parts,
+		Format:      format.String(),
+		Source:      source,
+	}
+	return ensureManifest(dir, want)
+}
+
+// ReadSourceSpec returns the opaque PartSource spec recorded in dir's
+// run manifest by EnsureSourceManifest, plus the recorded format and
+// part count. Directories generated by the classic Config path (or
+// with no manifest at all) return an error: callers probe this first
+// and fall back to ReadRunManifest.
+func ReadSourceSpec(dir string) (source json.RawMessage, format gformat.Format, parts int, err error) {
+	path := filepath.Join(dir, manifestName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: no run manifest in %s: %w", dir, err)
+	}
+	var m resumeManifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, 0, 0, fmt.Errorf("core: run manifest %s is corrupt: %w", path, err)
+	}
+	if len(m.Source) == 0 {
+		return nil, 0, 0, fmt.Errorf("core: run manifest %s records no source spec", path)
+	}
+	f, err := gformat.ParseFormat(m.Format)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: run manifest %s: %w", path, err)
+	}
+	return m.Source, f, m.Parts, nil
+}
+
 // checkOrWriteManifest validates dir against an existing manifest or
 // writes one. Directories from runs predating the manifest resume
 // without validation, as before.
@@ -356,6 +401,12 @@ func checkOrWriteManifest(dir string, cfg Config, format gformat.Format, parts i
 		Format:      format.String(),
 		Config:      &recorded,
 	}
+	return ensureManifest(dir, want)
+}
+
+// ensureManifest validates dir against an existing manifest or writes
+// want atomically.
+func ensureManifest(dir string, want resumeManifest) error {
 	path := filepath.Join(dir, manifestName)
 	if b, err := os.ReadFile(path); err == nil {
 		var have resumeManifest
@@ -372,11 +423,28 @@ func checkOrWriteManifest(dir string, cfg Config, format gformat.Format, parts i
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+	// The temp name must be unique per writer: swarm workers of one job
+	// race this write, and with a shared name one worker's rename can
+	// steal another's file mid-flight. Unique temps make every rename
+	// succeed — they carry identical bytes, so whichever lands last
+	// changes nothing.
+	tmp, err := os.CreateTemp(dir, manifestName+".*.tmp")
+	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op once renamed
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
 		return err
 	}
 	return syncDir(dir)

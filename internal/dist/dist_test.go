@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
@@ -720,5 +721,62 @@ func TestMaxLeaseRanges(t *testing.T) {
 		return err
 	}(); NewMasterErr == nil {
 		t.Fatal("negative MaxLeaseRanges accepted")
+	}
+}
+
+// TestDistributedCommunityMatchesBatch: a community job's blocks flow
+// through leases like classic ranges, and the union of the workers'
+// parts is byte-identical to the batch run of the same spec.
+func TestDistributedCommunityMatchesBatch(t *testing.T) {
+	spec := community.Config{
+		Sizes:      []int64{8, 5, 8},
+		Mixing:     [][]float64{{4, 1, 0}, {1, 2, 1}, {0, 1, 3}},
+		Edges:      120,
+		Noise:      0.1,
+		MasterSeed: 11,
+	}
+	lay, err := community.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := t.TempDir()
+	if _, err := lay.GenerateToDir(refDir, gformat.ADJ6, community.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, dirs := runCluster(t, MasterConfig{
+		Workers:   2,
+		Community: &spec,
+		Format:    gformat.ADJ6,
+	}, 2, 2)
+	if sum.Parts != lay.NumBlocks() {
+		t.Fatalf("master planned %d parts, layout has %d blocks", sum.Parts, lay.NumBlocks())
+	}
+
+	got := readParts(t, dirs, "adj6")
+	want := readParts(t, []string{refDir}, "adj6")
+	if len(got) != len(want) {
+		t.Fatalf("cluster produced %d parts, batch %d", len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("part %s missing from the cluster output", name)
+		}
+		if string(g) != string(w) {
+			t.Fatalf("part %s differs from the batch output", name)
+		}
+	}
+}
+
+// TestMasterCommunityValidation: a broken community spec fails at
+// NewMaster, before any worker connects.
+func TestMasterCommunityValidation(t *testing.T) {
+	bad := community.Config{
+		Sizes:  []int64{8, 5},
+		Mixing: [][]float64{{0, 0}, {0, 0}},
+	}
+	if _, err := NewMaster(MasterConfig{Addr: "127.0.0.1:0", Workers: 1, Community: &bad, Format: gformat.ADJ6}); err == nil {
+		t.Fatal("NewMaster accepted an all-zero mixing matrix")
 	}
 }

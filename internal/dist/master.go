@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
@@ -37,6 +38,11 @@ type MasterConfig struct {
 	Parts int
 	// Config is the graph to generate.
 	Config core.Config
+	// Community, when non-nil, generates a community-composed graph
+	// instead of Config: the work units are the layout's blocks (Parts
+	// is ignored — the block count decides), and every lease carries the
+	// spec so workers rebuild the layout deterministically.
+	Community *community.Config
 	// Format is the output format for every worker.
 	Format gformat.Format
 	// AcceptTimeout bounds the wait for registrations before the run
@@ -128,6 +134,7 @@ type Summary struct {
 // Master coordinates one distributed generation.
 type Master struct {
 	cfg MasterConfig
+	src core.PartSource
 	ln  net.Listener
 	tel *telemetry.Registry
 
@@ -178,8 +185,18 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if cfg.MaxLeaseRanges < 0 {
 		return nil, fmt.Errorf("dist: negative max lease ranges")
 	}
-	if err := cfg.Config.Validate(); err != nil {
-		return nil, err
+	var src core.PartSource
+	if cfg.Community != nil {
+		lay, err := community.New(*cfg.Community)
+		if err != nil {
+			return nil, err
+		}
+		src = lay
+	} else {
+		if err := cfg.Config.Validate(); err != nil {
+			return nil, err
+		}
+		src = core.NewConfigSource(cfg.Config)
 	}
 	if cfg.AcceptTimeout == 0 {
 		cfg.AcceptTimeout = 60 * time.Second
@@ -191,7 +208,7 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen: %w", err)
 	}
-	m := &Master{cfg: cfg, ln: ln, tel: cfg.Telemetry, queue: sched.NewFairQueue()}
+	m := &Master{cfg: cfg, src: src, ln: ln, tel: cfg.Telemetry, queue: sched.NewFairQueue()}
 	if m.tel == nil {
 		m.tel = telemetry.NewRegistry()
 	}
@@ -251,13 +268,21 @@ func (m *Master) Run() (Summary, error) {
 	if parts == 0 {
 		parts = m.gateThreads
 	}
-	m.sum.Parts = parts
+	if m.cfg.Community != nil {
+		// Community runs are block-granular: the layout fixes the part
+		// count, so neither Parts nor the fleet's thread sum applies.
+		parts = 0
+	}
 	m.mu.Unlock()
 
 	planStart := time.Now()
-	ranges, err := core.Plan(m.cfg.Config, parts)
+	// Both sources return part ids 0..n-1, index-aligned with ranges, so
+	// the queue payload (the range index) doubles as the part id.
+	ranges, _, err := m.src.Plan(parts)
+	parts = len(ranges)
 
 	m.mu.Lock()
+	m.sum.Parts = parts
 	m.sum.PlanDuration = time.Since(planStart)
 	if err != nil {
 		m.fatal = err
@@ -479,8 +504,9 @@ func (m *Master) handleWorker(conn net.Conn) {
 		}
 		job := Job{
 			Config:    m.cfg.Config,
+			Community: m.cfg.Community,
 			Format:    m.cfg.Format,
-			Ranges:    make([]partition.Range, n),
+			Ranges:    make([]partition.Range, len(ids)),
 			PartIDs:   ids,
 			Heartbeat: m.cfg.heartbeat(),
 		}

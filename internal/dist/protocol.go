@@ -31,6 +31,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/gformat"
 	"repro/internal/partition"
@@ -52,7 +53,13 @@ type Hello struct {
 // Job leases a bundle of ranges to a worker.
 type Job struct {
 	Config core.Config
-	Format gformat.Format
+	// Community, when non-nil, replaces Config: the lease's parts are
+	// community blocks of the layout this spec describes, identified by
+	// PartIDs (block ids), and Ranges carry each block's source-vertex
+	// span. Workers rebuild the layout locally — the spec is tiny and
+	// the layout a pure function of it — so the wire format stays flat.
+	Community *community.Config
+	Format    gformat.Format
 	// Ranges are the vertex ranges of this lease, at most one per
 	// worker thread.
 	Ranges []partition.Range

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/faultpoint"
 	"repro/internal/gformat"
@@ -212,6 +213,21 @@ func sessionFault(conn net.Conn, err error) error {
 // files already exist — while a sibling goroutine heartbeats progress
 // to the master.
 func executeLease(job Job, cfg WorkerConfig, conn net.Conn, send func(interface{}) error) (Done, error) {
+	// Rebuild the part source the lease describes. For community jobs
+	// the layout is recomputed from the wire spec — deterministic, so
+	// every worker (and the master) agrees on block ids, ranges and
+	// store keys without shipping the layout itself.
+	var src core.PartSource
+	if job.Community != nil {
+		lay, err := community.New(*job.Community)
+		if err != nil {
+			return Done{}, err
+		}
+		src = lay
+	} else {
+		src = core.NewConfigSource(job.Config)
+	}
+
 	missing, missingIDs := core.MissingParts(cfg.OutDir, job.Format, job.Ranges, job.PartIDs)
 	skipped := len(job.Ranges) - len(missing)
 	cfg.Telemetry.Counter(MetricWorkerSkips).Add(int64(skipped))
@@ -219,7 +235,7 @@ func executeLease(job Job, cfg WorkerConfig, conn net.Conn, send func(interface{
 	// Consult the artifact store before generating: any range generated
 	// before — by this worker, a previous incarnation, or anyone sharing
 	// the store — is a verified copy instead of a regeneration.
-	missing, missingIDs, fromCache, err := core.FetchFromStore(cfg.Store, job.Config, cfg.OutDir, job.Format, missing, missingIDs)
+	missing, missingIDs, fromCache, err := core.FetchPartsFromStore(cfg.Store, src, cfg.OutDir, job.Format, missing, missingIDs)
 	if err != nil {
 		return Done{}, err
 	}
@@ -270,11 +286,11 @@ func executeLease(job Job, cfg WorkerConfig, conn net.Conn, send func(interface{
 		// GenerateRangesObserved the stage spans, so a worker's
 		// -metrics-addr shows live core-pipeline throughput.
 		sinks := core.ObservedSinks(
-			core.IngestingSinks(
-				core.AtomicPartSinks(cfg.OutDir, job.Format, job.Config.NumVertices(), missingIDs),
-				cfg.Store, job.Config, cfg.OutDir, job.Format, missingIDs),
+			core.IngestingSinksFor(
+				core.AtomicPartSinks(cfg.OutDir, job.Format, src.NumVertices(), missingIDs),
+				cfg.Store, src, cfg.OutDir, job.Format, missingIDs),
 			job.Format, cfg.Telemetry)
-		st, err = core.GenerateRangesObserved(job.Config, missing, progressSinks(sinks, &scopes), cfg.Telemetry)
+		st, err = core.GenerateParts(src, missing, missingIDs, progressSinks(sinks, &scopes), cfg.Telemetry)
 	}
 	close(stop)
 	hb.Wait()

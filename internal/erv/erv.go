@@ -164,10 +164,42 @@ type Config struct {
 	AllowDuplicates bool
 }
 
-// Validate checks the configuration.
+// RangeError reports an unusable rectangular range: zero rows, zero
+// columns, or an inverted (negative-extent) axis. It is a typed error
+// so spec-validation layers (the server's bipartite shape, the
+// community mixer) can distinguish a bad rectangle from other
+// configuration problems with errors.As.
+type RangeError struct {
+	// Rows and Cols are the offending source × destination extents.
+	Rows, Cols int64
+}
+
+// Error implements error.
+func (e *RangeError) Error() string {
+	axis := func(n int64, name string) string {
+		switch {
+		case n < 0:
+			return fmt.Sprintf("inverted %s extent %d", name, n)
+		case n == 0:
+			return fmt.Sprintf("empty %s range", name)
+		default:
+			return ""
+		}
+	}
+	msg := "erv: rectangular range " + fmt.Sprintf("%d×%d", e.Rows, e.Cols) + " unusable"
+	for _, a := range []string{axis(e.Rows, "row"), axis(e.Cols, "column")} {
+		if a != "" {
+			msg += ": " + a
+		}
+	}
+	return msg
+}
+
+// Validate checks the configuration. Empty or inverted rectangles are
+// reported as a *RangeError.
 func (c Config) Validate() error {
 	if c.NumSrc < 1 || c.NumDst < 1 {
-		return fmt.Errorf("erv: vertex ranges %d×%d invalid", c.NumSrc, c.NumDst)
+		return &RangeError{Rows: c.NumSrc, Cols: c.NumDst}
 	}
 	if c.NumSrc > 1<<47 || c.NumDst > 1<<47 {
 		return fmt.Errorf("erv: vertex range exceeds supported size")

@@ -1,7 +1,9 @@
 package erv
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/rng"
@@ -95,6 +97,61 @@ func TestConfigValidate(t *testing.T) {
 	bad.NumEdges = 0
 	if err := bad.Validate(); err == nil {
 		t.Fatal("expected edges error")
+	}
+}
+
+// TestRangeErrorTyped: unusable rectangles surface from New as a
+// *erv.RangeError (never a panic), so spec layers can recognize them
+// with errors.As.
+func TestRangeErrorTyped(t *testing.T) {
+	base := Config{
+		NumSrc: 100, NumDst: 50, NumEdges: 1000,
+		OutDist: Dist{Kind: Zipfian, Slope: -1.5},
+		InDist:  Dist{Kind: Gaussian},
+	}
+	cases := map[string]struct {
+		rows, cols int64
+	}{
+		"zero rows":     {0, 50},
+		"zero cols":     {100, 0},
+		"zero both":     {0, 0},
+		"inverted rows": {-3, 50},
+		"inverted cols": {100, -7},
+	}
+	for name, tc := range cases {
+		cfg := base
+		cfg.NumSrc, cfg.NumDst = tc.rows, tc.cols
+		g, err := New(cfg)
+		if g != nil || err == nil {
+			t.Fatalf("%s: New = (%v, %v), want typed error", name, g, err)
+		}
+		var rerr *RangeError
+		if !errors.As(err, &rerr) {
+			t.Fatalf("%s: error %v is not a *RangeError", name, err)
+		}
+		if rerr.Rows != tc.rows || rerr.Cols != tc.cols {
+			t.Fatalf("%s: RangeError reports %d×%d, want %d×%d", name, rerr.Rows, rerr.Cols, tc.rows, tc.cols)
+		}
+	}
+	// A valid rectangle with another defect is NOT a RangeError.
+	cfg := base
+	cfg.NumEdges = -1
+	var rerr *RangeError
+	if _, err := New(cfg); err == nil || errors.As(err, &rerr) {
+		t.Fatalf("negative budget: got %v, want a non-range error", cfg)
+	}
+}
+
+// TestRangeErrorMessage pins the axis diagnostics.
+func TestRangeErrorMessage(t *testing.T) {
+	for e, want := range map[*RangeError]string{
+		{Rows: 0, Cols: 5}:  "empty row range",
+		{Rows: 5, Cols: 0}:  "empty column range",
+		{Rows: -2, Cols: 5}: "inverted row extent -2",
+	} {
+		if msg := e.Error(); !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q, want it to mention %q", msg, want)
+		}
 	}
 }
 

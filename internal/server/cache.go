@@ -91,10 +91,14 @@ func (s *Server) SetStore(st *store.Store, spoolDir string) error {
 }
 
 // jobKey derives the artifact key of a job's exact output: the part
-// bytes of its vertex range in its format. It is core.PartKey, so
-// server jobs share cache entries with batch and distributed runs of
-// the same configuration.
+// bytes of its vertex range in its format. Classic jobs use
+// core.PartKey, community jobs the layout's whole-stream key, so server
+// jobs share cache entries with batch and distributed runs of the same
+// configuration.
 func jobKey(job *Job) store.Key {
+	if job.layout != nil {
+		return job.layout.ArtifactKey(job.format)
+	}
 	return core.PartKey(job.cfg, job.format, partition.Range{Lo: job.lo, Hi: job.hi})
 }
 
@@ -128,10 +132,11 @@ func (s *Server) serveFromStore(w http.ResponseWriter, out *flushWriter, job *Jo
 		return true, err
 	}
 	// The artifact carries its edge count as sidecar metadata; scopes
-	// are exactly the vertex range (StreamRange emits one per vertex).
-	job.scopes.Store(job.hi - job.lo)
+	// are the stream's scope total (one per vertex for the flat path,
+	// one per block row for community layouts).
+	job.scopes.Store(job.scopesTotal())
 	job.edges.Store(info.Edges)
-	s.metrics.scopesTotal.Add(job.hi - job.lo)
+	s.metrics.scopesTotal.Add(job.scopesTotal())
 	s.metrics.addEdges(info.Edges)
 	return true, nil
 }

@@ -108,11 +108,11 @@ func TestServerStreamCorruptEntryRegenerates(t *testing.T) {
 	spec := `{"scale":12,"master_seed":9,"workers":2,"format":"tsv"}`
 	cold, _ := streamJob(t, base, spec)
 
-	cfg, format, lo, hi, err := JobSpec{Scale: 12, MasterSeed: 9, Workers: 2, Format: "tsv"}.compile(specLimits{})
+	c, err := JobSpec{Scale: 12, MasterSeed: 9, Workers: 2, Format: "tsv"}.compile(specLimits{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := core.PartKey(cfg, format, partition.Range{Lo: lo, Hi: hi})
+	key := core.PartKey(c.cfg, c.format, partition.Range{Lo: c.lo, Hi: c.hi})
 	if err := st.CorruptForTest(key); err != nil {
 		t.Fatal(err)
 	}

@@ -2,11 +2,13 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/gformat"
 	"repro/internal/recvec"
@@ -64,6 +66,21 @@ type JobSpec struct {
 	// Class is the scheduling priority class: "interactive", "batch"
 	// (the default) or "background".
 	Class string `json:"class,omitempty"`
+
+	// Shape selects the generation model: "" or "skg" is the classic
+	// recursive-vector path above; "bipartite" generates a plain
+	// bipartite graph (Rows source vertices, Cols destination vertices,
+	// EdgeFactor·Rows edges — the two-community degenerate case);
+	// "community" generates the full community composition described by
+	// Community. The community shapes stream whole graphs: Scale, Seed,
+	// Noise, Lo and Hi must be unset.
+	Shape string `json:"shape,omitempty"`
+	// Rows/Cols size the bipartite shape (both required for it).
+	Rows *int64 `json:"rows,omitempty"`
+	Cols *int64 `json:"cols,omitempty"`
+	// Community is the community spec (internal/community's JSON wire
+	// format), required by — and exclusive to — shape "community".
+	Community json.RawMessage `json:"community,omitempty"`
 }
 
 // specLimits bounds what a spec may ask of the server.
@@ -72,11 +89,118 @@ type specLimits struct {
 	maxWorkersPerJob int
 }
 
+// compiled is a spec resolved against the server limits: either a core
+// configuration (classic shape) or a community layout, plus the
+// streamable format and concrete vertex range.
+type compiled struct {
+	cfg    core.Config
+	layout *community.Layout
+	format gformat.Format
+	lo, hi int64
+}
+
+// scopesTotal is the number of scopes the job's stream emits: one per
+// vertex for the flat path, one per (block, source row) for community
+// layouts (a vertex heads one scope per block it sources).
+func (c compiled) scopesTotal() int64 {
+	if c.layout != nil {
+		return c.layout.ScopeTotal()
+	}
+	return c.hi - c.lo
+}
+
+// compileFormat resolves and bounds the spec's format: only the
+// concatenation-safe encodings stream (and community layouts need them
+// for the same reason — see community.GenerateToDir).
+func (s JobSpec) compileFormat() (gformat.Format, error) {
+	name := s.Format
+	if name == "" {
+		name = "tsv"
+	}
+	format, err := gformat.ParseFormat(name)
+	if err != nil {
+		return 0, err
+	}
+	if format != gformat.TSV && format != gformat.ADJ6 {
+		return 0, fmt.Errorf("server: format %v is not streamable (use tsv or adj6)", format)
+	}
+	return format, nil
+}
+
 // compile validates the spec against the limits and resolves it to a
-// core configuration, streamable format and concrete vertex range.
-func (s JobSpec) compile(lim specLimits) (core.Config, gformat.Format, int64, int64, error) {
+// compiled job.
+func (s JobSpec) compile(lim specLimits) (compiled, error) {
+	switch s.Shape {
+	case "", "skg":
+		return s.compileClassic(lim)
+	case "bipartite", "community":
+		return s.compileCommunity(lim)
+	default:
+		return compiled{}, fmt.Errorf("server: unknown shape %q (want skg, bipartite or community)", s.Shape)
+	}
+}
+
+// compileCommunity resolves the bipartite and community shapes to a
+// layout. The classic knobs that have no meaning here must be unset, so
+// a typo'd spec fails loudly instead of silently ignoring half itself.
+func (s JobSpec) compileCommunity(lim specLimits) (compiled, error) {
+	if s.Scale != 0 || s.Seed != nil || s.Noise != 0 || s.Lo != nil || s.Hi != nil {
+		return compiled{}, fmt.Errorf("server: shape %q streams a whole community graph; scale, seed, noise, lo and hi must be unset", s.Shape)
+	}
+	format, err := s.compileFormat()
+	if err != nil {
+		return compiled{}, err
+	}
+	var cfg community.Config
+	switch s.Shape {
+	case "bipartite":
+		if len(s.Community) != 0 {
+			return compiled{}, fmt.Errorf("server: shape bipartite takes rows/cols, not a community spec")
+		}
+		if s.Rows == nil || s.Cols == nil || *s.Rows < 1 || *s.Cols < 1 {
+			return compiled{}, fmt.Errorf("server: shape bipartite needs rows ≥ 1 and cols ≥ 1")
+		}
+		ef := s.EdgeFactor
+		if ef == 0 {
+			ef = 16
+		}
+		if ef < 0 {
+			return compiled{}, fmt.Errorf("server: negative edge factor")
+		}
+		cfg = community.Bipartite(*s.Rows, *s.Cols, ef**s.Rows, s.MasterSeed)
+		cfg.AllowDuplicates = s.AllowDuplicates
+	case "community":
+		if s.Rows != nil || s.Cols != nil {
+			return compiled{}, fmt.Errorf("server: rows/cols belong to shape bipartite")
+		}
+		if len(s.Community) == 0 {
+			return compiled{}, fmt.Errorf("server: shape community needs a community spec")
+		}
+		if s.EdgeFactor != 0 || s.MasterSeed != 0 || s.AllowDuplicates {
+			return compiled{}, fmt.Errorf("server: shape community takes edge_factor, master_seed and allow_duplicates inside the community spec")
+		}
+		cfg, err = community.ParseSpec(s.Community)
+		if err != nil {
+			return compiled{}, err
+		}
+	}
+	lay, err := community.New(cfg)
+	if err != nil {
+		return compiled{}, err
+	}
+	if lim.maxScale > 0 && lay.NumVertices() > int64(1)<<lim.maxScale {
+		return compiled{}, fmt.Errorf("server: %d vertices exceed the server's scale limit %d (2^%d)", lay.NumVertices(), lim.maxScale, lim.maxScale)
+	}
+	return compiled{layout: lay, format: format, lo: 0, hi: lay.NumVertices()}, nil
+}
+
+// compileClassic resolves the recursive-vector shape.
+func (s JobSpec) compileClassic(lim specLimits) (compiled, error) {
+	if s.Rows != nil || s.Cols != nil || len(s.Community) != 0 {
+		return compiled{}, fmt.Errorf("server: rows, cols and community need shape bipartite or community")
+	}
 	if lim.maxScale > 0 && s.Scale > lim.maxScale {
-		return core.Config{}, 0, 0, 0, fmt.Errorf("server: scale %d exceeds server limit %d", s.Scale, lim.maxScale)
+		return compiled{}, fmt.Errorf("server: scale %d exceeds server limit %d", s.Scale, lim.maxScale)
 	}
 	cfg := core.Config{
 		Scale:           s.Scale,
@@ -99,24 +223,17 @@ func (s JobSpec) compile(lim specLimits) (core.Config, gformat.Format, int64, in
 		cfg.Seed = skg.Graph500Seed
 	}
 	if cfg.Workers < 0 {
-		return core.Config{}, 0, 0, 0, fmt.Errorf("server: negative workers")
+		return compiled{}, fmt.Errorf("server: negative workers")
 	}
 	if lim.maxWorkersPerJob > 0 && (cfg.Workers == 0 || cfg.Workers > lim.maxWorkersPerJob) {
 		cfg.Workers = lim.maxWorkersPerJob
 	}
 	if err := cfg.Validate(); err != nil {
-		return core.Config{}, 0, 0, 0, err
+		return compiled{}, err
 	}
-	name := s.Format
-	if name == "" {
-		name = "tsv"
-	}
-	format, err := gformat.ParseFormat(name)
+	format, err := s.compileFormat()
 	if err != nil {
-		return core.Config{}, 0, 0, 0, err
-	}
-	if format != gformat.TSV && format != gformat.ADJ6 {
-		return core.Config{}, 0, 0, 0, fmt.Errorf("server: format %v is not streamable (use tsv or adj6)", format)
+		return compiled{}, err
 	}
 	lo, hi := int64(0), cfg.NumVertices()
 	if s.Lo != nil {
@@ -126,9 +243,9 @@ func (s JobSpec) compile(lim specLimits) (core.Config, gformat.Format, int64, in
 		hi = *s.Hi
 	}
 	if lo < 0 || hi < lo || hi > cfg.NumVertices() {
-		return core.Config{}, 0, 0, 0, fmt.Errorf("server: range [%d, %d) outside [0, %d)", lo, hi, cfg.NumVertices())
+		return compiled{}, fmt.Errorf("server: range [%d, %d) outside [0, %d)", lo, hi, cfg.NumVertices())
 	}
-	return cfg, format, lo, hi, nil
+	return compiled{cfg: cfg, format: format, lo: lo, hi: hi}, nil
 }
 
 // Job is one registered generation request. Counters are updated live
@@ -146,6 +263,7 @@ type Job struct {
 	Cost   int64
 
 	cfg    core.Config
+	layout *community.Layout // non-nil for the community shapes
 	format gformat.Format
 	lo, hi int64
 
@@ -185,6 +303,15 @@ type JobStatus struct {
 	ElapsedMS     int64   `json:"elapsed_ms,omitempty"`
 }
 
+// scopesTotal is the stream's total scope count (see
+// compiled.scopesTotal).
+func (j *Job) scopesTotal() int64 {
+	if j.layout != nil {
+		return j.layout.ScopeTotal()
+	}
+	return j.hi - j.lo
+}
+
 // Status snapshots the job.
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
@@ -202,7 +329,7 @@ func (j *Job) Status() JobStatus {
 		Lo:            j.lo,
 		Hi:            j.hi,
 		ScopesDone:    j.scopes.Load(),
-		ScopesTotal:   j.hi - j.lo,
+		ScopesTotal:   j.scopesTotal(),
 		EdgesStreamed: j.edges.Load(),
 		BytesStreamed: j.bytes.Load(),
 		Error:         errMsg,
@@ -350,7 +477,7 @@ func newRegistry(maxJobs int, pendingTTL time.Duration) *registry {
 }
 
 // add registers a compiled job and assigns its ID.
-func (r *registry) add(spec JobSpec, tenant string, class sched.Class, cost int64, cfg core.Config, format gformat.Format, lo, hi int64) (*Job, error) {
+func (r *registry) add(spec JobSpec, tenant string, class sched.Class, cost int64, c compiled) (*Job, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.order) >= r.maxJobs && !r.evictLocked() {
@@ -363,10 +490,11 @@ func (r *registry) add(spec JobSpec, tenant string, class sched.Class, cost int6
 		Tenant:  tenant,
 		Class:   class,
 		Cost:    cost,
-		cfg:     cfg,
-		format:  format,
-		lo:      lo,
-		hi:      hi,
+		cfg:     c.cfg,
+		layout:  c.layout,
+		format:  c.format,
+		lo:      c.lo,
+		hi:      c.hi,
 		created: r.now(),
 		state:   StatePending,
 	}

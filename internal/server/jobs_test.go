@@ -10,18 +10,18 @@ import (
 )
 
 func TestJobSpecDefaults(t *testing.T) {
-	cfg, format, lo, hi, err := JobSpec{Scale: 10}.compile(specLimits{})
+	c, err := JobSpec{Scale: 10}.compile(specLimits{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.EdgeFactor != 16 || cfg.MasterSeed != 1 {
-		t.Fatalf("defaults not applied: %+v", cfg)
+	if c.cfg.EdgeFactor != 16 || c.cfg.MasterSeed != 1 {
+		t.Fatalf("defaults not applied: %+v", c.cfg)
 	}
-	if cfg.Seed.A != 0.57 {
-		t.Fatalf("seed default %+v", cfg.Seed)
+	if c.cfg.Seed.A != 0.57 {
+		t.Fatalf("seed default %+v", c.cfg.Seed)
 	}
-	if format != gformat.TSV || lo != 0 || hi != 1024 {
-		t.Fatalf("format %v range [%d, %d)", format, lo, hi)
+	if c.format != gformat.TSV || c.lo != 0 || c.hi != 1024 {
+		t.Fatalf("format %v range [%d, %d)", c.format, c.lo, c.hi)
 	}
 }
 
@@ -38,15 +38,15 @@ func TestJobSpecExplicit(t *testing.T) {
 		Lo:         &lo,
 		Hi:         &hi,
 	}
-	cfg, format, clo, chi, err := spec.compile(specLimits{maxScale: 20, maxWorkersPerJob: 8})
+	c, err := spec.compile(specLimits{maxScale: 20, maxWorkersPerJob: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if format != gformat.ADJ6 || clo != 16 || chi != 48 {
-		t.Fatalf("format %v range [%d, %d)", format, clo, chi)
+	if c.format != gformat.ADJ6 || c.lo != 16 || c.hi != 48 {
+		t.Fatalf("format %v range [%d, %d)", c.format, c.lo, c.hi)
 	}
-	if cfg.Workers != 2 || cfg.NoiseParam != 0.1 || cfg.MasterSeed != 7 {
-		t.Fatalf("cfg %+v", cfg)
+	if c.cfg.Workers != 2 || c.cfg.NoiseParam != 0.1 || c.cfg.MasterSeed != 7 {
+		t.Fatalf("cfg %+v", c.cfg)
 	}
 }
 
@@ -66,36 +66,36 @@ func TestJobSpecRejections(t *testing.T) {
 		{Scale: 10, Lo: &big, Hi: &big},            // lo beyond |V|
 	}
 	for i, spec := range bad {
-		if _, _, _, _, err := spec.compile(specLimits{maxScale: 20, maxWorkersPerJob: 4}); err == nil {
+		if _, err := spec.compile(specLimits{maxScale: 20, maxWorkersPerJob: 4}); err == nil {
 			t.Fatalf("spec %d (%+v) accepted", i, spec)
 		}
 	}
 }
 
 func TestJobSpecWorkerCap(t *testing.T) {
-	cfg, _, _, _, err := JobSpec{Scale: 10, Workers: 64}.compile(specLimits{maxWorkersPerJob: 4})
+	c, err := JobSpec{Scale: 10, Workers: 64}.compile(specLimits{maxWorkersPerJob: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Workers != 4 {
-		t.Fatalf("workers %d, want cap 4", cfg.Workers)
+	if c.cfg.Workers != 4 {
+		t.Fatalf("workers %d, want cap 4", c.cfg.Workers)
 	}
-	cfg, _, _, _, err = JobSpec{Scale: 10}.compile(specLimits{maxWorkersPerJob: 4})
+	c, err = JobSpec{Scale: 10}.compile(specLimits{maxWorkersPerJob: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Workers != 4 {
-		t.Fatalf("unset workers %d, want server default 4", cfg.Workers)
+	if c.cfg.Workers != 4 {
+		t.Fatalf("unset workers %d, want server default 4", c.cfg.Workers)
 	}
 }
 
 func addJob(t *testing.T, r *registry, spec JobSpec) *Job {
 	t.Helper()
-	cfg, format, lo, hi, err := spec.compile(specLimits{})
+	c, err := spec.compile(specLimits{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := r.add(spec, sched.DefaultTenant, sched.Batch, 1, cfg, format, lo, hi)
+	j, err := r.add(spec, sched.DefaultTenant, sched.Batch, 1, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,8 +183,8 @@ func TestRegistryEviction(t *testing.T) {
 	addJob(t, r, JobSpec{Scale: 8})
 
 	// Both slots hold fresh pending jobs: admission must fail.
-	cfg, format, lo, hi, _ := JobSpec{Scale: 8}.compile(specLimits{})
-	if _, err := r.add(JobSpec{Scale: 8}, sched.DefaultTenant, sched.Batch, 1, cfg, format, lo, hi); err == nil {
+	full, _ := JobSpec{Scale: 8}.compile(specLimits{})
+	if _, err := r.add(JobSpec{Scale: 8}, sched.DefaultTenant, sched.Batch, 1, full); err == nil {
 		t.Fatal("overfull registry accepted a job")
 	}
 
@@ -244,8 +244,8 @@ func TestRegistryEvictsStalePending(t *testing.T) {
 		t.Fatal("tryQueue failed")
 	}
 	r.now = func() time.Time { return base.Add(time.Hour) }
-	cfg, format, lo, hi, _ := JobSpec{Scale: 8}.compile(specLimits{})
-	if _, err := r.add(JobSpec{Scale: 8}, sched.DefaultTenant, sched.Batch, 1, cfg, format, lo, hi); err == nil {
+	c2, _ := JobSpec{Scale: 8}.compile(specLimits{})
+	if _, err := r.add(JobSpec{Scale: 8}, sched.DefaultTenant, sched.Batch, 1, c2); err == nil {
 		t.Fatal("registry evicted a queued job")
 	}
 }

@@ -306,7 +306,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown class %q (want interactive, batch or background)", spec.Class)
 		return
 	}
-	cfg, format, lo, hi, err := spec.compile(specLimits{
+	c, err := spec.compile(specLimits{
 		maxScale:         s.opts.MaxScale,
 		maxWorkersPerJob: s.opts.MaxWorkersPerJob,
 	})
@@ -314,15 +314,21 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// The admission cost is the job's expected edge count (Theorem 1),
-	// so fairness and rate limits are apportioned over expected work —
-	// one scale-30 job weighs as much as thousands of small ones.
-	cost, err := core.EstimateRangeEdges(cfg, lo, hi)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "estimating job cost: %v", err)
-		return
+	// The admission cost is the job's expected edge count (Theorem 1 for
+	// the flat path, the layout's planned edge budget for community
+	// shapes), so fairness and rate limits are apportioned over expected
+	// work — one scale-30 job weighs as much as thousands of small ones.
+	var cost int64
+	if c.layout != nil {
+		cost = c.layout.TotalEdges()
+	} else {
+		cost, err = core.EstimateRangeEdges(c.cfg, c.lo, c.hi)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "estimating job cost: %v", err)
+			return
+		}
 	}
-	job, err := s.reg.add(spec, tenant, class, cost, cfg, format, lo, hi)
+	job, err := s.reg.add(spec, tenant, class, cost, c)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -334,7 +340,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Tenant:      tenant,
 		Class:       class.String(),
 		CostEdges:   cost,
-		ScopesTotal: hi - lo,
+		ScopesTotal: c.scopesTotal(),
 		StatusURL:   "/v1/jobs/" + job.ID,
 		StreamURL:   "/v1/jobs/" + job.ID + "/stream",
 	})
@@ -493,7 +499,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/octet-stream")
 	}
 	w.Header().Set("X-Trilliong-Job-Id", job.ID)
-	w.Header().Set("X-Trilliong-Scopes-Total", fmt.Sprint(job.hi-job.lo))
+	w.Header().Set("X-Trilliong-Scopes-Total", fmt.Sprint(job.scopesTotal()))
 
 	// A cancelled stream may be wedged in a Write to a stalled client,
 	// where it would never observe ctx; expiring the write deadline
@@ -529,16 +535,36 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 			// A spool-temp failure just means this stream isn't cached.
 		}
-		_, err = StreamRange(ctx, job.cfg, job.format, job.lo, job.hi, streamOut, StreamOptions{
-			Workers: job.cfg.Workers,
-			Depth:   s.opts.PipelineDepth,
-			OnScope: func(_ int64, edges int) {
-				job.scopes.Add(1)
-				job.edges.Add(int64(edges))
-				s.metrics.scopesTotal.Add(1)
-				s.metrics.addEdges(int64(edges))
-			},
-		})
+		if job.layout != nil {
+			// Community jobs stream block by block through one encoder —
+			// byte-identical to the batch part files concatenated, so the
+			// spooled artifact is shared with the part-file world via the
+			// layout's whole-stream key.
+			var enc gformat.Writer
+			if enc, err = newStreamWriter(job.format, streamOut); err == nil {
+				var st core.Stats
+				st, err = job.layout.GenerateStream(enc, s.metrics.tel, func() {
+					job.scopes.Add(1)
+					s.metrics.scopesTotal.Add(1)
+				})
+				job.edges.Store(st.Edges)
+				s.metrics.addEdges(st.Edges)
+				if err == nil {
+					err = enc.Close()
+				}
+			}
+		} else {
+			_, err = StreamRange(ctx, job.cfg, job.format, job.lo, job.hi, streamOut, StreamOptions{
+				Workers: job.cfg.Workers,
+				Depth:   s.opts.PipelineDepth,
+				OnScope: func(_ int64, edges int) {
+					job.scopes.Add(1)
+					job.edges.Add(int64(edges))
+					s.metrics.scopesTotal.Add(1)
+					s.metrics.addEdges(int64(edges))
+				},
+			})
+		}
 		if sw != nil {
 			s.ingestSpooled(sw, job, err)
 		}

@@ -184,17 +184,23 @@ func epochOrder(seed, workerID uint64, epoch, parts int) []int {
 	return rot
 }
 
-// Run executes one masterless swarm worker: it derives the plan and
-// its schedules locally, claims parts until a completion scan finds
-// none missing, and returns its share of the run. Any number of Run
-// invocations — in one process or many, started together or hours
-// apart — pointed at the same shared dir (and optionally the same
-// store) cooperate on one job and converge on the identical file set a
-// single-process batch run produces.
+// Run executes one masterless swarm worker for a classic Config job.
+// It is RunJob over the Config's PartSource adapter — plan, bytes and
+// store keys are identical to every pre-existing path.
 func Run(job core.Config, dir string, format gformat.Format, opts Options) (Summary, error) {
-	if err := job.Validate(); err != nil {
-		return Summary{}, err
-	}
+	return RunJob(core.NewConfigSource(job), dir, format, opts)
+}
+
+// RunJob executes one masterless swarm worker for any core.PartSource
+// — the classic Config partition or a community layout, whose blocks
+// become the claimable parts: it derives the plan and its schedules
+// locally, claims parts until a completion scan finds none missing,
+// and returns its share of the run. Any number of invocations — in one
+// process or many, started together or hours apart — pointed at the
+// same shared dir (and optionally the same store) cooperate on one job
+// and converge on the identical file set a single-process batch run
+// produces.
+func RunJob(src core.PartSource, dir string, format gformat.Format, opts Options) (Summary, error) {
 	if opts.Parts < 1 {
 		return Summary{}, fmt.Errorf("swarm: Parts must be pinned (> 0): with no master to gate registration, the plan must not depend on who shows up")
 	}
@@ -222,25 +228,27 @@ func Run(job core.Config, dir string, format gformat.Format, opts Options) (Summ
 
 	start := time.Now()
 	planStart := start
-	ranges, err := core.Plan(job, opts.Parts)
+	ranges, ids, err := src.Plan(opts.Parts)
 	if err != nil {
 		return Summary{}, err
 	}
+	opts.Parts = len(ranges)
 	planDur := time.Since(planStart)
 
 	// The manifest is the only shared-state handshake: mismatched
 	// configurations against one directory fail here, loudly.
-	if err := core.EnsureRunManifest(dir, job, format, opts.Parts); err != nil {
+	if err := src.EnsureManifest(dir, format, opts.Parts); err != nil {
 		return Summary{}, err
 	}
 
 	w := &worker{
-		job:    job,
+		src:    src,
 		dir:    dir,
 		format: format,
 		opts:   opts,
 		ranges: ranges,
-		seed:   jobSeed(core.CacheFingerprint(job), format, opts.Parts),
+		ids:    ids,
+		seed:   jobSeed(src.Fingerprint(), format, opts.Parts),
 		// Unique temp suffix per incarnation: racing claimants of one
 		// part must never interleave writes into a shared temp file.
 		tmpSuffix: fmt.Sprintf("%016x", nonce),
@@ -255,11 +263,12 @@ func Run(job core.Config, dir string, format gformat.Format, opts Options) (Summ
 // worker is one Run invocation's state. Counters are atomics because
 // Threads claim loops feed them concurrently.
 type worker struct {
-	job       core.Config
+	src       core.PartSource
 	dir       string
 	format    gformat.Format
 	opts      Options
 	ranges    []partition.Range
+	ids       []int
 	seed      uint64
 	tmpSuffix string
 	tel       *telemetry.Registry
@@ -271,10 +280,7 @@ type worker struct {
 }
 
 func (w *worker) run() (Summary, error) {
-	ids := make([]int, w.opts.Parts)
-	for i := range ids {
-		ids[i] = i
-	}
+	ids := w.ids
 	epochGauge := w.tel.Gauge(MetricEpoch)
 	for epoch := 0; ; epoch++ {
 		if w.opts.MaxEpochs > 0 && epoch >= w.opts.MaxEpochs {
@@ -335,7 +341,8 @@ func (w *worker) claimPass(epoch int, missing []partition.Range, missingIDs []in
 		byID[id] = missing[i]
 	}
 	sched := make([]int, 0, len(missingIDs))
-	for _, id := range epochOrder(w.seed, w.opts.WorkerID, epoch, w.opts.Parts) {
+	for _, pos := range epochOrder(w.seed, w.opts.WorkerID, epoch, w.opts.Parts) {
+		id := w.ids[pos]
 		if _, ok := byID[id]; ok {
 			sched = append(sched, id)
 		}
@@ -392,7 +399,7 @@ func (w *worker) claim(id int, r partition.Range) (collided bool, err error) {
 		return true, nil
 	}
 	if w.opts.Store != nil {
-		if _, ok, err := w.opts.Store.Retrieve(core.PartKey(w.job, w.format, r), final); err != nil {
+		if _, ok, err := w.opts.Store.Retrieve(w.src.PartKey(w.format, id, r), final); err != nil {
 			return false, err
 		} else if ok {
 			w.fromCache.Add(1)
@@ -403,7 +410,7 @@ func (w *worker) claim(id int, r partition.Range) (collided bool, err error) {
 
 	ids := []int{id}
 	var lostRace atomic.Bool
-	sinks := core.AtomicPartSinksOpts(w.dir, w.format, w.job.NumVertices(), ids, core.PartSinkOptions{
+	sinks := core.AtomicPartSinksOpts(w.dir, w.format, w.src.NumVertices(), ids, core.PartSinkOptions{
 		TmpSuffix:   w.tmpSuffix,
 		OnDuplicate: func(int) { lostRace.Store(true) },
 	})
@@ -411,9 +418,9 @@ func (w *worker) claim(id int, r partition.Range) (collided bool, err error) {
 	// the store reads it); a lost claim ingests the winner's identical
 	// bytes, and Store.IngestFile is idempotent, so the order of
 	// winners and losers cannot corrupt the store.
-	sinks = core.IngestingSinks(sinks, w.opts.Store, w.job, w.dir, w.format, ids)
+	sinks = core.IngestingSinksFor(sinks, w.opts.Store, w.src, w.dir, w.format, ids)
 	sinks = core.ObservedSinks(sinks, w.format, w.tel)
-	st, err := core.GenerateRangesObserved(w.job, []partition.Range{r}, sinks, w.tel)
+	st, err := w.src.GeneratePart(id, r, sinks, w.tel)
 	if err != nil {
 		return false, err
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/gformat"
 	"repro/internal/store"
@@ -286,4 +287,97 @@ func TestRunThreeWorkersBitIdentical(t *testing.T) {
 	if claimed < parts {
 		t.Fatalf("winners claim %d parts in total, want >= %d (sums %+v)", claimed, parts, sums)
 	}
+}
+
+// TestRunJobCommunityBlocksBitIdentical: a community layout's blocks
+// are the swarm's claimable parts, and two cooperating workers
+// converge on the byte-exact file set of a single-process batch run.
+func TestRunJobCommunityBlocksBitIdentical(t *testing.T) {
+	lay, err := community.New(community.Config{
+		Sizes:      []int64{8, 5, 8},
+		Mixing:     [][]float64{{4, 1, 0}, {1, 2, 1}, {0, 1, 3}},
+		Edges:      120,
+		Noise:      0.1,
+		MasterSeed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := lay.NumBlocks()
+
+	refDir := t.TempDir()
+	if _, err := lay.GenerateToDir(refDir, gformat.ADJ6, community.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want := readDir(t, refDir, parts, gformat.ADJ6)
+
+	dir := t.TempDir()
+	sums := make([]Summary, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sums[i], errs[i] = RunJob(lay, dir, gformat.ADJ6, Options{
+				Parts:        parts,
+				WorkerID:     uint64(i + 1),
+				ScanInterval: 20 * time.Millisecond,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	assertSameParts(t, readDir(t, dir, parts, gformat.ADJ6), want)
+	assertNoTempLitter(t, dir)
+}
+
+// TestRunJobCommunitySharesStoreWithBatch: parts a batch run ingested
+// into the artifact store are claimed from the cache by a later swarm
+// run of the identical spec — the store key fingerprints the layout,
+// not the execution mode.
+func TestRunJobCommunitySharesStoreWithBatch(t *testing.T) {
+	spec := community.Config{
+		Sizes:      []int64{8, 5},
+		Mixing:     [][]float64{{4, 1}, {1, 2}},
+		Edges:      80,
+		MasterSeed: 7,
+	}
+	lay, err := community.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchDir := t.TempDir()
+	if _, err := lay.GenerateToDir(batchDir, gformat.ADJ6, community.RunOptions{Store: st}); err != nil {
+		t.Fatal(err)
+	}
+
+	// An independent resolution of the same spec must hit the cache.
+	lay2, err := community.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swarmDir := t.TempDir()
+	sum, err := RunJob(lay2, swarmDir, gformat.ADJ6, Options{
+		Parts:        lay2.NumBlocks(),
+		ScanInterval: 20 * time.Millisecond,
+		Store:        st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.FromCache != lay2.NumBlocks() {
+		t.Fatalf("swarm run took %d of %d parts from the store", sum.FromCache, lay2.NumBlocks())
+	}
+	assertSameParts(t,
+		readDir(t, swarmDir, lay2.NumBlocks(), gformat.ADJ6),
+		readDir(t, batchDir, lay.NumBlocks(), gformat.ADJ6))
 }

@@ -32,6 +32,18 @@ type Accumulator struct {
 	counter *stats.DegreeCounter
 	edges   int64
 	files   int
+	hook    func(src, dst int64)
+}
+
+// SetEdgeHook installs fn to observe every edge the accumulator
+// records, scope-expanded to (src, dst) pairs. The hook runs under the
+// accumulator's lock (so it may be a plain closure over plain state)
+// and must be installed before consumption starts. Community
+// validation uses it to tally edges per block in the same single pass.
+func (a *Accumulator) SetEdgeHook(fn func(src, dst int64)) {
+	a.mu.Lock()
+	a.hook = fn
+	a.mu.Unlock()
 }
 
 // NewAccumulator returns an empty accumulator.
@@ -47,6 +59,11 @@ func (a *Accumulator) AddScope(src int64, dsts []int64) {
 	a.mu.Lock()
 	a.counter.AddScope(src, dsts)
 	a.edges += int64(len(dsts))
+	if a.hook != nil {
+		for _, dst := range dsts {
+			a.hook(src, dst)
+		}
+	}
 	a.mu.Unlock()
 }
 
@@ -55,6 +72,9 @@ func (a *Accumulator) AddEdge(src, dst int64) {
 	a.mu.Lock()
 	a.counter.AddEdge(src, dst)
 	a.edges++
+	if a.hook != nil {
+		a.hook(src, dst)
+	}
 	a.mu.Unlock()
 }
 

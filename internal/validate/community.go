@@ -1,0 +1,163 @@
+package validate
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/community"
+	"repro/internal/telemetry"
+)
+
+// maxBlockChecks bounds how many per-block checks a community report
+// lists individually; layouts with more blocks are still fully covered
+// by the aggregate intra/inter/stray checks, the report just doesn't
+// enumerate hundreds of block lines.
+const maxBlockChecks = 64
+
+// CommunityTally accumulates the per-block edge counts of a community
+// layout during a validation pass. Install Observe as the accumulator's
+// edge hook (SetEdgeHook) so one consumption pass feeds both the degree
+// machinery and the block densities.
+type CommunityTally struct {
+	layout *community.Layout
+	index  map[[2]int]int // (srcComm, dstComm) → block index
+
+	mu     sync.Mutex
+	edges  []int64 // per block index
+	stray  int64   // edges outside every planned block
+	sample string  // first stray edge, for the report detail
+}
+
+// NewCommunityTally returns an empty tally for the layout.
+func NewCommunityTally(lay *community.Layout) *CommunityTally {
+	t := &CommunityTally{
+		layout: lay,
+		index:  make(map[[2]int]int, lay.NumBlocks()),
+		edges:  make([]int64, lay.NumBlocks()),
+	}
+	for i, b := range lay.Blocks() {
+		t.index[[2]int{b.SrcComm, b.DstComm}] = i
+	}
+	return t
+}
+
+// Observe records one edge. Edges landing outside the vertex space or
+// in a community pair with no planned block count as stray — the
+// generator never emits them, so any stray edge is corruption or a
+// layout mismatch.
+func (t *CommunityTally) Observe(src, dst int64) {
+	i, j := t.layout.CommunityOf(src), t.layout.CommunityOf(dst)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || j < 0 {
+		t.strayLocked(src, dst)
+		return
+	}
+	bi, ok := t.index[[2]int{i, j}]
+	if !ok {
+		t.strayLocked(src, dst)
+		return
+	}
+	t.edges[bi]++
+}
+
+func (t *CommunityTally) strayLocked(src, dst int64) {
+	if t.stray == 0 {
+		t.sample = fmt.Sprintf("first stray edge (%d, %d)", src, dst)
+	}
+	t.stray++
+}
+
+// snapshot copies the tally under its lock.
+func (t *CommunityTally) snapshot() (edges []int64, stray int64, sample string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	edges = make([]int64, len(t.edges))
+	copy(edges, t.edges)
+	return edges, t.stray, t.sample
+}
+
+// ParamsFromCommunity condenses a community layout into report params.
+func ParamsFromCommunity(lay *community.Layout) Params {
+	cfg := lay.Config()
+	return Params{
+		Model:      "community",
+		Vertices:   lay.NumVertices(),
+		Edges:      lay.TotalEdges(),
+		Noise:      cfg.Noise,
+		MasterSeed: cfg.MasterSeed,
+	}
+}
+
+// EvaluateCommunity compares an accumulated graph against a community
+// layout's plan: the whole-graph edge total, the intra- and
+// inter-community totals, each block's observed edge count against its
+// budget (individually up to maxBlockChecks blocks), and a stray-edge
+// check that fails on any edge outside the planned blocks — which is
+// what catches a wrong mixing matrix or a mislabeled partition. Block
+// distances are countDiff (deviation beyond 3·√budget, relative to the
+// budget), so sampling noise in small blocks doesn't trip the gate.
+func EvaluateCommunity(lay *community.Layout, acc *Accumulator, tally *CommunityTally, th Thresholds, tel *telemetry.Registry, label string) *Report {
+	blockEdges, stray, sample := tally.snapshot()
+	r := &Report{
+		Schema: ReportSchema,
+		Label:  label,
+		Params: ParamsFromCommunity(lay),
+	}
+	r.Observed.Edges = acc.Edges()
+	r.Expected.Edges = float64(lay.TotalEdges())
+
+	add := func(name string, observed, expected float64, t Threshold, dist float64, detail string) {
+		r.Checks = append(r.Checks, Check{
+			Name:     name,
+			Status:   t.status(dist),
+			Observed: round6(observed),
+			Expected: round6(expected),
+			Distance: round6(dist),
+			WarnAt:   t.Warn,
+			FailAt:   t.Fail,
+			Detail:   detail,
+		})
+	}
+
+	obs, exp := float64(r.Observed.Edges), r.Expected.Edges
+	add("edges", obs, exp, th.Edges, relDiff(obs, exp), "")
+
+	// Any stray edge fails: the budgeted checks below only see edges
+	// that landed in planned blocks, so corruption that teleports edges
+	// out of their rectangles must be caught here.
+	strayTh := Threshold{Warn: 0.5, Fail: 0.5}
+	add("community_stray", float64(stray), 0, strayTh, float64(stray), sample)
+
+	var intraObs, intraExp, interObs, interExp float64
+	for i, b := range lay.Blocks() {
+		if b.Intra {
+			intraObs += float64(blockEdges[i])
+			intraExp += float64(b.Edges)
+		} else {
+			interObs += float64(blockEdges[i])
+			interExp += float64(b.Edges)
+		}
+	}
+	if intraExp > 0 || intraObs > 0 {
+		add("intra_edges", intraObs, intraExp, th.CommunityBlock, countDiff(intraObs, intraExp), "")
+	}
+	if interExp > 0 || interObs > 0 {
+		add("inter_edges", interObs, interExp, th.CommunityBlock, countDiff(interObs, interExp), "")
+	}
+
+	if lay.NumBlocks() <= maxBlockChecks {
+		for i, b := range lay.Blocks() {
+			bo, be := float64(blockEdges[i]), float64(b.Edges)
+			detail := fmt.Sprintf("src [%d, %d) × dst [%d, %d)", b.SrcLo, b.SrcHi, b.DstLo, b.DstHi)
+			add(fmt.Sprintf("block(%d,%d)", b.SrcComm, b.DstComm), bo, be, th.CommunityBlock, countDiff(bo, be), detail)
+		}
+	}
+
+	r.Verdict = StatusPass
+	for _, c := range r.Checks {
+		r.Verdict = worse(r.Verdict, c.Status)
+	}
+	record(tel, r)
+	return r
+}

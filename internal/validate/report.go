@@ -78,6 +78,11 @@ type Thresholds struct {
 	ZeroIn    Threshold `json:"zero_in"`
 	Isolated  Threshold `json:"isolated"`
 	ZipfSlope Threshold `json:"zipf_slope"`
+	// CommunityBlock bounds each community block's (and the intra/inter
+	// totals') edge-count deviation from its planned budget, measured by
+	// countDiff — relative deviation beyond a 3·√budget sampling
+	// allowance, so small blocks are not penalized for binomial noise.
+	CommunityBlock Threshold `json:"community_block"`
 	// OscillationDetect is the score at or above which the Figure-9
 	// ripple counts as present, applied to both the observed and the
 	// predicted score; the check fails when the two disagree.
@@ -95,6 +100,7 @@ func DefaultThresholds() Thresholds {
 		ZeroIn:            Threshold{Warn: 0.08, Fail: 0.25},
 		Isolated:          Threshold{Warn: 0.10, Fail: 0.30},
 		ZipfSlope:         Threshold{Warn: 0.15, Fail: 0.40},
+		CommunityBlock:    Threshold{Warn: 0.10, Fail: 0.25},
 		OscillationDetect: OscillationDetectThreshold,
 	}
 }
